@@ -1,0 +1,66 @@
+//! Whole-simulator throughput benches: uops simulated per second for each
+//! mechanism, plus the Faulty Bits / Extra Bypass baseline configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lowvcc_baselines::{
+    ExtraBypassDesign, ExtraBypassScope, FaultyBitsDesign, FaultyBitsScope,
+};
+use lowvcc_core::{CoreConfig, Mechanism, SimConfig, Simulator};
+use lowvcc_sram::{voltage::mv, CycleTimeModel};
+use lowvcc_trace::{Trace, TraceSpec, WorkloadFamily};
+
+const TRACE_LEN: usize = 20_000;
+
+fn trace() -> Trace {
+    TraceSpec::new(WorkloadFamily::SpecInt, 0, TRACE_LEN)
+        .build()
+        .expect("preset params")
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let timing = CycleTimeModel::silverthorne_45nm();
+    let core = CoreConfig::silverthorne();
+    let t = trace();
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.throughput(Throughput::Elements(TRACE_LEN as u64));
+    g.sample_size(10);
+    for (name, mech) in [
+        ("baseline_500mv", Mechanism::Baseline),
+        ("iraw_500mv", Mechanism::Iraw),
+        ("ideal_logic_500mv", Mechanism::IdealLogic),
+    ] {
+        let cfg = SimConfig::at_vcc(core, &timing, mv(500), mech);
+        let sim = Simulator::new(cfg).expect("valid config");
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(sim.run(&t).expect("simulation completes")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_baseline_designs(c: &mut Criterion) {
+    let timing = CycleTimeModel::silverthorne_45nm();
+    let core = CoreConfig::silverthorne();
+    let t = trace();
+    let mut g = c.benchmark_group("baseline_designs");
+    g.throughput(Throughput::Elements(TRACE_LEN as u64));
+    g.sample_size(10);
+
+    let fb = FaultyBitsDesign::four_sigma(FaultyBitsScope::AllBlocksHypothetical);
+    let sim = Simulator::new(fb.sim_config(core, &timing, mv(450), 1)).expect("valid config");
+    g.bench_function("faulty_bits_4sigma_450mv", |b| {
+        b.iter(|| black_box(sim.run(&t).expect("simulation completes")));
+    });
+
+    let eb = ExtraBypassDesign::two_cycle(ExtraBypassScope::AllBlocksHypothetical);
+    let sim = Simulator::new(eb.sim_config(core, &timing, mv(450))).expect("valid config");
+    g.bench_function("extra_bypass_450mv", |b| {
+        b.iter(|| black_box(sim.run(&t).expect("simulation completes")));
+    });
+    g.finish();
+}
+
+criterion_group!(simulator, bench_mechanisms, bench_baseline_designs);
+criterion_main!(simulator);

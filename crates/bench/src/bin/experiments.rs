@@ -1,0 +1,71 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--suite quick|standard|NxLEN] [--out DIR]
+//! ```
+//!
+//! Examples: `experiments`, `experiments --suite quick`,
+//! `experiments --suite 3x50000 --out results`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lowvcc_bench::experiments::run_all;
+use lowvcc_bench::ExperimentContext;
+
+fn parse_args() -> Result<(ExperimentContext, PathBuf), String> {
+    let mut suite = "standard".to_string();
+    let mut out = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--suite" => suite = args.next().ok_or("--suite needs a value")?,
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--help" | "-h" => {
+                return Err("usage: experiments [--suite quick|standard|NxLEN] [--out DIR]".into())
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let ctx = match suite.as_str() {
+        "quick" => ExperimentContext::quick()?,
+        "standard" => ExperimentContext::standard()?,
+        custom => {
+            let (n, len) = custom
+                .split_once('x')
+                .ok_or_else(|| format!("bad suite spec {custom}; want e.g. 3x50000"))?;
+            let n: u32 = n.parse().map_err(|_| "bad per-family count")?;
+            let len: usize = len.parse().map_err(|_| "bad trace length")?;
+            ExperimentContext::sized(n, len)?
+        }
+    };
+    Ok((ctx, out))
+}
+
+fn main() -> ExitCode {
+    let (ctx, out) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "running all experiments on suite {} ({} uops)…",
+        ctx.suite_label,
+        ctx.total_uops()
+    );
+    match run_all(&ctx, &out) {
+        Ok(report) => {
+            println!("{report}");
+            eprintln!("CSV files written under {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

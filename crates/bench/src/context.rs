@@ -1,0 +1,102 @@
+//! Shared experiment context: models, machine configuration and the trace
+//! suite.
+
+use lowvcc_core::CoreConfig;
+use lowvcc_energy::EnergyModel;
+use lowvcc_sram::CycleTimeModel;
+use lowvcc_trace::{suite, Trace, TraceSpec};
+
+/// Everything an experiment needs: the calibrated models, the machine, and
+/// a built trace suite.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Calibrated timing model.
+    pub timing: CycleTimeModel,
+    /// Calibrated energy model.
+    pub energy: EnergyModel,
+    /// Machine configuration.
+    pub core: CoreConfig,
+    /// The workload suite.
+    pub suite: Vec<Trace>,
+    /// Human-readable suite label for reports.
+    pub suite_label: String,
+}
+
+impl ExperimentContext {
+    /// Builds a context from trace specs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn from_specs(specs: &[TraceSpec], label: &str) -> Result<Self, String> {
+        let mut traces = Vec::with_capacity(specs.len());
+        for s in specs {
+            traces.push(s.build()?);
+        }
+        Ok(Self {
+            timing: CycleTimeModel::silverthorne_45nm(),
+            energy: EnergyModel::silverthorne_45nm(),
+            core: CoreConfig::silverthorne(),
+            suite: traces,
+            suite_label: label.to_string(),
+        })
+    }
+
+    /// Tiny suite (7 traces × 10k uops) — for tests and criterion benches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn quick() -> Result<Self, String> {
+        Self::from_specs(&suite(1, 10_000), "quick (7×10k)")
+    }
+
+    /// Standard suite (49 traces × 200k uops) — the default for the
+    /// `experiments` binary; a scaled-down stand-in for the paper's
+    /// 531 × 10 M traces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn standard() -> Result<Self, String> {
+        Self::from_specs(&suite(7, 200_000), "standard (49×200k)")
+    }
+
+    /// Custom suite size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn sized(per_family: u32, len: usize) -> Result<Self, String> {
+        Self::from_specs(
+            &suite(per_family, len),
+            &format!("custom ({}×{len})", per_family * 7),
+        )
+    }
+
+    /// Total dynamic uops in the suite.
+    #[must_use]
+    pub fn total_uops(&self) -> usize {
+        self.suite.iter().map(Trace::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_builds() {
+        let ctx = ExperimentContext::quick().unwrap();
+        assert_eq!(ctx.suite.len(), 7);
+        assert_eq!(ctx.total_uops(), 70_000);
+        assert!(ctx.suite_label.contains("quick"));
+    }
+
+    #[test]
+    fn sized_context_scales() {
+        let ctx = ExperimentContext::sized(2, 5_000).unwrap();
+        assert_eq!(ctx.suite.len(), 14);
+        assert_eq!(ctx.total_uops(), 70_000);
+    }
+}

@@ -1,0 +1,46 @@
+//! F1 — the paper's Figure 1: logic, read and write delay versus Vcc.
+
+use lowvcc_sram::Figure1Series;
+
+use crate::context::ExperimentContext;
+use crate::report::{fnum, TextTable};
+
+/// Builds the Figure 1 table over the paper sweep.
+#[must_use]
+pub fn table(ctx: &ExperimentContext) -> TextTable {
+    let series = Figure1Series::generate(&ctx.timing);
+    let mut t = TextTable::new(vec![
+        "vcc_mv",
+        "12fo4_phase",
+        "bitcell_write",
+        "bitcell_read",
+        "write_plus_wl",
+        "read_plus_wl",
+    ]);
+    for r in series.rows() {
+        t.row(vec![
+            r.vcc.millivolts().to_string(),
+            fnum(r.phase_12fo4, 3),
+            fnum(r.bitcell_write, 3),
+            fnum(r.bitcell_read, 3),
+            fnum(r.write_plus_wl, 3),
+            fnum(r.read_plus_wl, 3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_rows_on_the_paper_grid() {
+        let ctx = ExperimentContext::quick().unwrap();
+        let t = table(&ctx);
+        assert_eq!(t.len(), 13);
+        let s = t.render();
+        assert!(s.contains("700"));
+        assert!(s.contains("400"));
+    }
+}

@@ -1,0 +1,41 @@
+//! F11a — the paper's Figure 11a: normalized cycle time of the 24-FO4
+//! ideal, the write-limited baseline, and the IRAW clock.
+
+use lowvcc_sram::{TimingLimiter, PAPER_SWEEP};
+
+use crate::context::ExperimentContext;
+use crate::report::{fnum, TextTable};
+
+/// Builds the Figure 11a table over the paper sweep.
+#[must_use]
+pub fn table(ctx: &ExperimentContext) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "vcc_mv",
+        "24fo4_cycle",
+        "baseline_write_limited",
+        "iraw_cycle",
+        "stabilization_cycles",
+    ]);
+    for v in PAPER_SWEEP.iter() {
+        t.row(vec![
+            v.millivolts().to_string(),
+            fnum(ctx.timing.normalized_cycle(v, TimingLimiter::Logic), 3),
+            fnum(ctx.timing.normalized_cycle(v, TimingLimiter::WriteLimited), 3),
+            fnum(ctx.timing.normalized_cycle(v, TimingLimiter::Iraw), 3),
+            ctx.timing.stabilization_cycles(v).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_sweep_with_sane_ordering() {
+        let ctx = ExperimentContext::quick().unwrap();
+        let t = table(&ctx);
+        assert_eq!(t.len(), 13);
+    }
+}

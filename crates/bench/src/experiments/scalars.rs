@@ -1,0 +1,108 @@
+//! S1/S3/S4 — the paper's scalar results: delayed-instruction fraction,
+//! prediction-only corruption rates, and hardware overheads.
+
+use lowvcc_energy::{ExtraBypassOverhead, FaultyBitsOverhead, IrawOverhead};
+
+use crate::context::ExperimentContext;
+use crate::experiments::sweep::{at, SweepPoint};
+use crate::report::TextTable;
+
+/// Builds the scalar-results table from an already-run sweep.
+///
+/// # Errors
+///
+/// Returns an error if the sweep lacks the anchor voltages.
+pub fn table(_ctx: &ExperimentContext, points: &[SweepPoint]) -> Result<TextTable, String> {
+    let p500 = at(points, 500).ok_or("sweep missing 500 mV")?;
+    let p400 = at(points, 400).ok_or("sweep missing 400 mV")?;
+    let p575 = at(points, 575).ok_or("sweep missing 575 mV")?;
+
+    let iraw = IrawOverhead::silverthorne();
+    let fb = FaultyBitsOverhead::silverthorne();
+    let eb = ExtraBypassOverhead::silverthorne();
+
+    let mut t = TextTable::new(vec!["quantity", "measured", "paper"]);
+    t.row(vec![
+        "frequency increase @500 mV".into(),
+        format!("+{:.0}%", (p500.frequency_gain - 1.0) * 100.0),
+        "+57%".into(),
+    ]);
+    t.row(vec![
+        "frequency increase @400 mV".into(),
+        format!("+{:.0}%", (p400.frequency_gain - 1.0) * 100.0),
+        "+99%".into(),
+    ]);
+    t.row(vec![
+        "performance gain @500 mV".into(),
+        format!("+{:.0}%", (p500.speedup - 1.0) * 100.0),
+        "+48%".into(),
+    ]);
+    t.row(vec![
+        "performance gain @400 mV".into(),
+        format!("+{:.0}%", (p400.speedup - 1.0) * 100.0),
+        "+90%".into(),
+    ]);
+    t.row(vec![
+        "relative EDP @500 mV".into(),
+        format!("{:.2}", p500.relative_edp),
+        "0.61".into(),
+    ]);
+    t.row(vec![
+        "relative EDP @400 mV".into(),
+        format!("{:.2}", p400.relative_edp),
+        "0.33".into(),
+    ]);
+    t.row(vec![
+        "instructions delayed @575 mV".into(),
+        format!("{:.1}%", p575.delayed_fraction * 100.0),
+        "13.2%".into(),
+    ]);
+    t.row(vec![
+        "BP potential corruption rate".into(),
+        format!("{:.5}%", p575.bp_corruption_rate * 100.0),
+        "0.0017%".into(),
+    ]);
+    t.row(vec![
+        "RSB potential corruptions".into(),
+        p575.rsb_corruptions.to_string(),
+        "0 (none found)".into(),
+    ]);
+    t.row(vec![
+        "IRAW extra area".into(),
+        format!("{:.3}%", iraw.area_fraction() * 100.0),
+        "~0.03% (<0.1%)".into(),
+    ]);
+    t.row(vec![
+        "IRAW extra energy".into(),
+        format!("+{:.2}%", (iraw.dynamic_energy_factor() - 1.0) * 100.0),
+        "<1%".into(),
+    ]);
+    t.row(vec![
+        "Faulty Bits fault-map area".into(),
+        format!("{:.2}%", fb.area_fraction() * 100.0),
+        "\"may not be negligible\"".into(),
+    ]);
+    t.row(vec![
+        "Extra Bypass latches vs datapath".into(),
+        format!("{:.0}%", eb.datapath_area_fraction() * 100.0),
+        "\"prohibitive\"".into(),
+    ]);
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::sweep::run_sweep;
+
+    #[test]
+    fn scalar_table_builds_from_sweep() {
+        let ctx = ExperimentContext::quick().unwrap();
+        let points = run_sweep(&ctx).unwrap();
+        let t = table(&ctx, &points).unwrap();
+        assert!(t.len() >= 12);
+        let s = t.render();
+        assert!(s.contains("13.2%"));
+        assert!(s.contains("0.61"));
+    }
+}

@@ -1,0 +1,88 @@
+//! T1 — the paper's Table 1 and its measured companion.
+
+use lowvcc_baselines::{qualitative_table, quantitative_table};
+use lowvcc_sram::Millivolts;
+
+use crate::context::ExperimentContext;
+use crate::report::{fnum, TextTable};
+
+fn yes_no(b: bool) -> String {
+    if b { "YES" } else { "NO" }.to_string()
+}
+
+/// The published qualitative Table 1 (plus the IRAW row).
+#[must_use]
+pub fn qualitative() -> TextTable {
+    let mut t = TextTable::new(vec![
+        "technique",
+        "works_for_all_blocks",
+        "adapts_to_multiple_vcc",
+        "hw_overhead",
+        "large_ipc_impact",
+        "hard_to_test",
+    ]);
+    for r in qualitative_table() {
+        t.row(vec![
+            r.technique.to_string(),
+            yes_no(r.works_for_all_blocks),
+            yes_no(r.adapts_to_multiple_vcc),
+            r.hw_overhead.to_string(),
+            yes_no(r.large_ipc_impact),
+            yes_no(r.hard_to_test),
+        ]);
+    }
+    t
+}
+
+/// Measured comparison at 500 mV over the context suite.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn quantitative(ctx: &ExperimentContext) -> Result<TextTable, String> {
+    let vcc = Millivolts::new(500).expect("500 mV on the grid");
+    let rows = quantitative_table(ctx.core, &ctx.timing, vcc, &ctx.suite)?;
+    let mut t = TextTable::new(vec![
+        "technique",
+        "freq_gain",
+        "speedup",
+        "relative_ipc",
+        "area_frac",
+        "energy_factor",
+        "hard_to_test",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.technique,
+            fnum(r.frequency_gain, 3),
+            fnum(r.speedup, 3),
+            fnum(r.relative_ipc, 3),
+            format!("{:.5}", r.area_fraction),
+            fnum(r.energy_factor, 4),
+            yes_no(r.hard_to_test),
+        ]);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualitative_has_three_techniques() {
+        let t = qualitative();
+        assert_eq!(t.len(), 3);
+        let s = t.render();
+        assert!(s.contains("Faulty Bits"));
+        assert!(s.contains("Extra Bypass"));
+        assert!(s.contains("IRAW"));
+    }
+
+    #[test]
+    fn quantitative_runs_on_quick_suite() {
+        let ctx = ExperimentContext::quick().unwrap();
+        let t = quantitative(&ctx).unwrap();
+        assert_eq!(t.len(), 6);
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment harness: regenerates every table and figure of the HPCA 2010
+//! low-Vcc paper from the reproduction stack.
+//!
+//! Each experiment module produces plain data rows plus formatted text
+//! tables and CSV files, so the same code backs the `experiments` binary,
+//! the integration tests and the criterion benches. The experiment IDs
+//! match DESIGN.md §4:
+//!
+//! | ID | module | paper artefact |
+//! |----|--------|----------------|
+//! | F1 | [`experiments::fig1`] | Figure 1 — delay vs Vcc |
+//! | F11a | [`experiments::fig11a`] | Figure 11a — cycle time vs Vcc |
+//! | F11b | [`experiments::fig11b`] | Figure 11b — frequency & performance gains |
+//! | F12 | [`experiments::fig12`] | Figure 12 — energy / delay / EDP |
+//! | T1 | [`experiments::table1`] | Table 1 — technique comparison |
+//! | S2 | [`experiments::stalls`] | §5.2 stall attribution at 575 mV |
+//! | S1/S3/S4 | [`experiments::scalars`] | §5.2/§4.5/§5.3 scalar results |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+
+pub use context::ExperimentContext;
+pub use report::TextTable;

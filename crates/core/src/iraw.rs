@@ -1,0 +1,132 @@
+//! The IRAW controller: per-Vcc reconfiguration of every avoidance
+//! mechanism (paper §4.1.3, §4.2–4.4 reconfiguration rules).
+//!
+//! The paper stresses that adapting to a Vcc change is cheap: the
+//! scoreboard just initializes its shift registers with a different
+//! pattern, the IQ recomputes one threshold, the Store Table enables a
+//! different number of entries, and the post-fill counters get a new
+//! initial value. [`IrawController::settings_for`] centralizes those
+//! rules; `SimConfig::at_vcc` applies them when building a run.
+
+use lowvcc_sram::{CycleTimeModel, Millivolts};
+
+/// Per-block mechanism settings at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrawSettings {
+    /// Stabilization cycles `N` (0 = IRAW off).
+    pub n: u32,
+    /// Scoreboard bubble bits appended after the bypass bits (= `N`).
+    pub scoreboard_bubble: u32,
+    /// IQ issue threshold `ICI + AI·N` for the Silverthorne widths.
+    pub iq_threshold: usize,
+    /// Store Table entries to enable (`stores/cycle × N`).
+    pub stable_entries: usize,
+    /// Post-fill stall counter initial value for cache-like blocks.
+    pub fill_stall_cycles: u32,
+    /// Whether prediction-only blocks need any action (always false —
+    /// the paper's point).
+    pub prediction_blocks_stalled: bool,
+}
+
+/// Computes mechanism settings from the calibrated timing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrawController {
+    timing: CycleTimeModel,
+    ici: usize,
+    ai: usize,
+    stores_per_cycle: usize,
+}
+
+impl IrawController {
+    /// Controller for the Silverthorne widths (`ICI = 2`, `AI = 2`,
+    /// one store commit per cycle).
+    #[must_use]
+    pub fn silverthorne(timing: CycleTimeModel) -> Self {
+        Self {
+            timing,
+            ici: 2,
+            ai: 2,
+            stores_per_cycle: 1,
+        }
+    }
+
+    /// Settings for the given supply voltage.
+    #[must_use]
+    pub fn settings_for(&self, vcc: Millivolts) -> IrawSettings {
+        let n = self.timing.stabilization_cycles(vcc);
+        IrawSettings {
+            n,
+            scoreboard_bubble: n,
+            iq_threshold: self.ici + self.ai * n as usize,
+            stable_entries: self.stores_per_cycle * n as usize,
+            fill_stall_cycles: n,
+            prediction_blocks_stalled: false,
+        }
+    }
+
+    /// The largest `N` across a Vcc sweep — sizes the physical Store
+    /// Table and the scoreboard extension bits.
+    #[must_use]
+    pub fn max_n_over(&self, sweep: lowvcc_sram::VccRange) -> u32 {
+        sweep
+            .iter()
+            .map(|v| self.timing.stabilization_cycles(v))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowvcc_sram::voltage::mv;
+    use lowvcc_sram::PAPER_SWEEP;
+
+    fn controller() -> IrawController {
+        IrawController::silverthorne(CycleTimeModel::silverthorne_45nm())
+    }
+
+    #[test]
+    fn paper_rule_600mv_boundary() {
+        let c = controller();
+        // §4.1.3: "600 mV or higher → deactivated; 575 mV or lower → one
+        // stabilization cycle".
+        let off = c.settings_for(mv(600));
+        assert_eq!(off.n, 0);
+        assert_eq!(off.iq_threshold, 2, "gate collapses to ICI");
+        assert_eq!(off.stable_entries, 0);
+        assert_eq!(off.fill_stall_cycles, 0);
+
+        let on = c.settings_for(mv(575));
+        assert_eq!(on.n, 1);
+        assert_eq!(on.iq_threshold, 4, "ICI + AI·N = 2 + 2·1");
+        assert_eq!(on.stable_entries, 1);
+        assert_eq!(on.fill_stall_cycles, 1);
+    }
+
+    #[test]
+    fn prediction_blocks_never_stall() {
+        let c = controller();
+        for v in PAPER_SWEEP.iter() {
+            assert!(!c.settings_for(v).prediction_blocks_stalled);
+        }
+    }
+
+    #[test]
+    fn max_n_sizes_the_hardware() {
+        let c = controller();
+        // In the calibrated 45 nm range one cycle always suffices.
+        assert_eq!(c.max_n_over(PAPER_SWEEP), 1);
+    }
+
+    #[test]
+    fn settings_monotone_in_n() {
+        let c = controller();
+        for v in PAPER_SWEEP.iter() {
+            let s = c.settings_for(v);
+            assert_eq!(s.scoreboard_bubble, s.n);
+            assert_eq!(s.iq_threshold, 2 + 2 * s.n as usize);
+            assert_eq!(s.stable_entries, s.n as usize);
+        }
+    }
+}

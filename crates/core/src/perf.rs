@@ -1,0 +1,240 @@
+//! Multi-trace aggregation and mechanism comparison (the machinery behind
+//! Figure 11b's "performance gains" series).
+
+use lowvcc_sram::{CycleTimeModel, Millivolts};
+use lowvcc_trace::Trace;
+
+use crate::config::{CoreConfig, Mechanism, SimConfig};
+use crate::sim::Simulator;
+use crate::stats::SimResult;
+
+/// Results of one configuration over a trace suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteResult {
+    /// Per-trace results, in suite order.
+    pub per_trace: Vec<(String, SimResult)>,
+}
+
+impl SuiteResult {
+    /// Total simulated wall-clock time across the suite.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.per_trace.iter().map(|(_, r)| r.seconds()).sum()
+    }
+
+    /// Total committed instructions.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.per_trace
+            .iter()
+            .map(|(_, r)| r.stats.instructions)
+            .sum()
+    }
+
+    /// Suite-aggregate IPC (instructions over cycles).
+    #[must_use]
+    pub fn aggregate_ipc(&self) -> f64 {
+        let cycles: u64 = self.per_trace.iter().map(|(_, r)| r.stats.cycles).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / cycles as f64
+        }
+    }
+
+    /// Fraction of instructions delayed by RF IRAW avoidance across the
+    /// suite (the paper's 13.2% statistic).
+    #[must_use]
+    pub fn delayed_instruction_fraction(&self) -> f64 {
+        let delayed: u64 = self
+            .per_trace
+            .iter()
+            .map(|(_, r)| r.stats.iraw_delayed_instructions)
+            .sum();
+        let total = self.total_instructions();
+        if total == 0 {
+            0.0
+        } else {
+            delayed as f64 / total as f64
+        }
+    }
+}
+
+/// Speedup of one suite run over another.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Speedup {
+    /// Ratio of total suite times (weighted by trace length).
+    pub total_time: f64,
+    /// Geometric mean of per-trace speedups.
+    pub geomean: f64,
+}
+
+/// Runs `cfg` over every trace.
+///
+/// # Errors
+///
+/// Propagates the first simulation error.
+pub fn run_suite(cfg: &SimConfig, traces: &[Trace]) -> Result<SuiteResult, String> {
+    let sim = Simulator::new(cfg.clone())?;
+    let mut per_trace = Vec::with_capacity(traces.len());
+    for t in traces {
+        let r = sim.run(t)?;
+        per_trace.push((t.name.clone(), r));
+    }
+    Ok(SuiteResult { per_trace })
+}
+
+/// Computes the speedup of `new` over `baseline` (paired by suite order).
+///
+/// # Panics
+///
+/// Panics if the two suites ran different trace counts.
+#[must_use]
+pub fn speedup(new: &SuiteResult, baseline: &SuiteResult) -> Speedup {
+    assert_eq!(
+        new.per_trace.len(),
+        baseline.per_trace.len(),
+        "suites must pair one-to-one"
+    );
+    let total_time = baseline.total_seconds() / new.total_seconds();
+    let log_sum: f64 = new
+        .per_trace
+        .iter()
+        .zip(&baseline.per_trace)
+        .map(|((_, a), (_, b))| (b.seconds() / a.seconds()).ln())
+        .sum();
+    Speedup {
+        total_time,
+        geomean: (log_sum / new.per_trace.len() as f64).exp(),
+    }
+}
+
+/// Baseline-vs-IRAW comparison at one supply voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismComparison {
+    /// Supply voltage.
+    pub vcc: Millivolts,
+    /// Write-limited baseline results.
+    pub baseline: SuiteResult,
+    /// IRAW-avoidance results.
+    pub iraw: SuiteResult,
+    /// Clock-frequency gain of IRAW at this voltage.
+    pub frequency_gain: f64,
+    /// Measured performance speedup.
+    pub speedup: Speedup,
+}
+
+/// Runs both mechanisms over the suite at `vcc`.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn compare_mechanisms(
+    core: CoreConfig,
+    timing: &CycleTimeModel,
+    vcc: Millivolts,
+    traces: &[Trace],
+) -> Result<MechanismComparison, String> {
+    let base_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Baseline);
+    let iraw_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Iraw);
+    let baseline = run_suite(&base_cfg, traces)?;
+    let iraw = run_suite(&iraw_cfg, traces)?;
+    let speedup = speedup(&iraw, &baseline);
+    Ok(MechanismComparison {
+        vcc,
+        baseline,
+        iraw,
+        frequency_gain: timing.frequency_gain(vcc),
+        speedup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowvcc_sram::voltage::mv;
+    use lowvcc_trace::{TraceSpec, WorkloadFamily};
+
+    fn small_suite() -> Vec<Trace> {
+        [
+            (WorkloadFamily::SpecInt, 0u64),
+            (WorkloadFamily::SpecFp, 1),
+            (WorkloadFamily::Multimedia, 2),
+        ]
+        .iter()
+        .map(|&(f, s)| TraceSpec::new(f, s, 20_000).build().unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn suite_totals_add_up() {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let cfg = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(550),
+            Mechanism::Baseline,
+        );
+        let suite = run_suite(&cfg, &small_suite()).unwrap();
+        assert_eq!(suite.per_trace.len(), 3);
+        assert_eq!(suite.total_instructions(), 60_000);
+        assert!(suite.total_seconds() > 0.0);
+        assert!(suite.aggregate_ipc() > 0.0);
+    }
+
+    #[test]
+    fn iraw_beats_baseline_at_low_vcc() {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let cmp = compare_mechanisms(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(500),
+            &small_suite(),
+        )
+        .unwrap();
+        // The paper's central claim, in miniature: substantial speedup,
+        // below the raw frequency gain (stalls + constant-time memory).
+        assert!(
+            cmp.speedup.total_time > 1.2,
+            "speedup {:.3} too small",
+            cmp.speedup.total_time
+        );
+        assert!(
+            cmp.speedup.total_time <= cmp.frequency_gain + 0.05,
+            "speedup {:.3} cannot exceed frequency gain {:.3}",
+            cmp.speedup.total_time,
+            cmp.frequency_gain
+        );
+        assert!(cmp.iraw.delayed_instruction_fraction() > 0.0);
+        assert_eq!(cmp.baseline.delayed_instruction_fraction(), 0.0);
+    }
+
+    #[test]
+    fn geomean_close_to_total_time_for_equal_length_traces() {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let cmp = compare_mechanisms(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(475),
+            &small_suite(),
+        )
+        .unwrap();
+        let diff = (cmp.speedup.total_time - cmp.speedup.geomean).abs();
+        assert!(diff < 0.3, "aggregates should roughly agree, diff {diff:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one-to-one")]
+    fn mismatched_suites_rejected() {
+        let a = SuiteResult { per_trace: vec![] };
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let cfg = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(500),
+            Mechanism::Baseline,
+        );
+        let b = run_suite(&cfg, &small_suite()).unwrap();
+        let _ = speedup(&a, &b);
+    }
+}

@@ -1,0 +1,345 @@
+//! Front end: instruction fetch, branch prediction (BP + BTB + RSB), and
+//! the decode pipe feeding the IQ.
+//!
+//! The BP and RSB are the paper's *prediction-only* blocks: at low Vcc
+//! they run with no IRAW protection at all (§4.5) — a read may observe a
+//! stabilizing counter. That can at worst flip a prediction, so the model
+//! tracks the frequency of such windows ([`CorruptionTracker`]) instead
+//! of stalling anything.
+
+use std::collections::VecDeque;
+
+use lowvcc_trace::{Trace, UopKind};
+use lowvcc_uarch::bpred::{Bimodal, BranchPredictor, Btb, CorruptionTracker};
+use lowvcc_uarch::rsb::ReturnStack;
+
+use crate::config::SimConfig;
+use crate::pipeline::memory::MemHierarchy;
+use crate::stats::BranchStats;
+
+/// Decoded uop waiting to enter the IQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedUop {
+    /// Index into the trace.
+    pub trace_idx: usize,
+    /// Cycle at which decode completes (IQ-allocatable).
+    pub ready_at: u64,
+}
+
+/// The fetch/decode front end.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    bp: Bimodal,
+    btb: Btb,
+    rsb: ReturnStack,
+    tracker: CorruptionTracker,
+    decode_queue: VecDeque<DecodedUop>,
+    queue_cap: usize,
+    cursor: usize,
+    stalled_until: u64,
+    last_line: Option<u64>,
+    fetch_width: usize,
+    front_end_stages: u64,
+    mispredict_penalty: u64,
+    stats: BranchStats,
+}
+
+impl FrontEnd {
+    /// Builds the front end for a run.
+    #[must_use]
+    pub fn new(cfg: &SimConfig) -> Self {
+        let n = cfg.stabilization_cycles;
+        Self {
+            bp: Bimodal::new(cfg.core.bp_entries),
+            btb: Btb::new(cfg.core.btb_entries),
+            rsb: ReturnStack::new(cfg.core.rsb_entries, n),
+            tracker: CorruptionTracker::new(cfg.core.bp_entries, n),
+            decode_queue: VecDeque::with_capacity(16),
+            queue_cap: 16,
+            cursor: 0,
+            stalled_until: 0,
+            last_line: None,
+            fetch_width: cfg.core.fetch_width,
+            front_end_stages: u64::from(cfg.core.front_end_stages),
+            mispredict_penalty: u64::from(cfg.core.mispredict_penalty),
+            stats: BranchStats::default(),
+        }
+    }
+
+    /// Whether every trace uop has been fetched.
+    #[must_use]
+    pub fn trace_exhausted(&self, trace: &Trace) -> bool {
+        self.cursor >= trace.len()
+    }
+
+    /// Whether the decode queue is empty.
+    #[must_use]
+    pub fn queue_empty(&self) -> bool {
+        self.decode_queue.is_empty()
+    }
+
+    /// Pops up to `width` decode-complete uops for IQ allocation.
+    pub fn take_decoded(&mut self, width: usize, now: u64) -> Vec<DecodedUop> {
+        let mut out = Vec::new();
+        while out.len() < width {
+            match self.decode_queue.front() {
+                Some(d) if d.ready_at <= now => {
+                    out.push(*d);
+                    self.decode_queue.pop_front();
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Returns the allocated-but-not-popped count (for drain decisions).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.decode_queue.len()
+    }
+
+    /// One fetch cycle: fetch up to `fetch_width` uops in trace order,
+    /// modelling IL0/ITLB latency and branch prediction.
+    pub fn fetch_cycle(&mut self, trace: &Trace, mem: &mut MemHierarchy, now: u64) {
+        if now < self.stalled_until {
+            return;
+        }
+        for _ in 0..self.fetch_width {
+            if self.cursor >= trace.len() || self.decode_queue.len() >= self.queue_cap {
+                return;
+            }
+            let u = &trace.uops[self.cursor];
+            // Instruction-cache access on line change.
+            let line = u.pc >> 6;
+            if self.last_line != Some(line) {
+                let ready = mem.ifetch(u.pc, now);
+                self.last_line = Some(line);
+                if ready > now {
+                    // Miss (or guard): the group arrives later; resume then.
+                    self.stalled_until = ready;
+                    return;
+                }
+            }
+            self.decode_queue.push_back(DecodedUop {
+                trace_idx: self.cursor,
+                ready_at: now + self.front_end_stages,
+            });
+            self.cursor += 1;
+
+            if u.kind.is_control() {
+                let mispredicted = self.predict_and_train(u.pc, u.kind, u.taken, u.target, now);
+                if mispredicted {
+                    self.stalled_until = now + self.mispredict_penalty;
+                    return;
+                }
+                if u.taken {
+                    // Fetch group breaks on taken control flow.
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Predicts one control uop, trains the structures, and reports
+    /// whether the front end must redirect (misprediction).
+    fn predict_and_train(
+        &mut self,
+        pc: u64,
+        kind: UopKind,
+        taken: bool,
+        target: u64,
+        now: u64,
+    ) -> bool {
+        match kind {
+            UopKind::Branch => {
+                self.stats.branches += 1;
+                let (pred_taken, index) = self.bp.predict(pc);
+                if self.tracker.on_read(index, now) {
+                    self.stats.bp_potential_corruptions += 1;
+                }
+                let effect = self.bp.update(pc, taken);
+                self.tracker.on_write(effect, now);
+                let target_ok = !taken || self.btb.predict(pc) == Some(target);
+                if taken {
+                    self.btb.update(pc, target);
+                }
+                let mispredict = pred_taken != taken || !target_ok;
+                if mispredict {
+                    self.stats.mispredicts += 1;
+                }
+                mispredict
+            }
+            UopKind::Call => {
+                self.stats.calls += 1;
+                // Push the return address; the callee target comes from
+                // the BTB (direct calls train quickly).
+                self.rsb.push(pc + 4, now);
+                let target_ok = self.btb.predict(pc) == Some(target);
+                self.btb.update(pc, target);
+                !target_ok
+            }
+            UopKind::Ret => {
+                self.stats.rets += 1;
+                let predicted = self.rsb.pop(now);
+                let mispredict = predicted != Some(target);
+                if mispredict {
+                    self.stats.ret_mispredicts += 1;
+                }
+                mispredict
+            }
+            _ => false,
+        }
+    }
+
+    /// Branch statistics (corruption counters folded in).
+    #[must_use]
+    pub fn stats(&self) -> BranchStats {
+        let mut s = self.stats;
+        s.rsb_potential_corruptions = self.rsb.potential_corruptions();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoreConfig, Mechanism, SimConfig};
+    use lowvcc_sram::voltage::mv;
+    use lowvcc_sram::CycleTimeModel;
+    use lowvcc_trace::Uop;
+
+    fn setup(mechanism: Mechanism) -> (FrontEnd, MemHierarchy) {
+        let cfg = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &CycleTimeModel::silverthorne_45nm(),
+            mv(500),
+            mechanism,
+        );
+        (FrontEnd::new(&cfg), MemHierarchy::new(&cfg).unwrap())
+    }
+
+    fn straight_line_trace(n: usize) -> Trace {
+        let uops = (0..n)
+            .map(|i| Uop::nop(0x40_0000 + 4 * i as u64))
+            .collect();
+        Trace::new("straight", uops)
+    }
+
+    #[test]
+    fn fetches_up_to_width_per_cycle() {
+        let (mut fe, mut mem) = setup(Mechanism::Iraw);
+        let trace = straight_line_trace(10);
+        // Cycle 0: cold IL0 miss stalls fetch.
+        fe.fetch_cycle(&trace, &mut mem, 0);
+        assert!(fe.queue_empty());
+        // After the line arrives, two uops per cycle.
+        let mut now = 0;
+        while fe.queue_empty() {
+            now += 1;
+            fe.fetch_cycle(&trace, &mut mem, now);
+        }
+        assert_eq!(fe.queue_len(), 2);
+    }
+
+    #[test]
+    fn decode_pipe_delays_allocation() {
+        let (mut fe, mut mem) = setup(Mechanism::Iraw);
+        let trace = straight_line_trace(4);
+        let mut now = 0;
+        while fe.queue_empty() {
+            fe.fetch_cycle(&trace, &mut mem, now);
+            now += 1;
+        }
+        // Nothing allocatable before the decode depth elapses.
+        assert!(fe.take_decoded(2, now).is_empty());
+        let later = now + 6;
+        let got = fe.take_decoded(2, later);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].trace_idx, 0);
+    }
+
+    #[test]
+    fn biased_branch_learns_and_stops_mispredicting() {
+        let (mut fe, mut mem) = setup(Mechanism::Iraw);
+        // Same branch, always taken, plus its target uop.
+        let mut uops = Vec::new();
+        for _ in 0..50 {
+            uops.push(Uop::branch(0x40_0100, None, true, 0x40_0000));
+            uops.push(Uop::nop(0x40_0000));
+        }
+        let trace = Trace::new("loop", uops);
+        let mut now = 0u64;
+        for _ in 0..5000 {
+            fe.fetch_cycle(&trace, &mut mem, now);
+            let _ = fe.take_decoded(2, now);
+            now += 1;
+            if fe.trace_exhausted(&trace) {
+                break;
+            }
+        }
+        let s = fe.stats();
+        assert!(s.branches >= 40);
+        // First iterations mispredict (cold BP/BTB), then it locks on.
+        assert!(s.mispredicts >= 1);
+        assert!(
+            s.mispredict_ratio() < 0.2,
+            "ratio {:.3} should be low for a monomorphic branch",
+            s.mispredict_ratio()
+        );
+    }
+
+    #[test]
+    fn call_ret_pairs_predict_via_rsb() {
+        let (mut fe, mut mem) = setup(Mechanism::Iraw);
+        let call_pc = 0x40_0000u64;
+        let callee = 0x40_1000u64;
+        let mut uops = Vec::new();
+        for _ in 0..20 {
+            let mut call = Uop::nop(call_pc);
+            call.kind = UopKind::Call;
+            call.taken = true;
+            call.target = callee;
+            uops.push(call);
+            let mut ret = Uop::nop(callee);
+            ret.kind = UopKind::Ret;
+            ret.taken = true;
+            ret.target = call_pc + 4;
+            uops.push(ret);
+            uops.push(Uop::nop(call_pc + 4));
+        }
+        let trace = Trace::new("callret", uops);
+        let mut now = 0u64;
+        for _ in 0..5000 {
+            fe.fetch_cycle(&trace, &mut mem, now);
+            let _ = fe.take_decoded(2, now);
+            now += 1;
+            if fe.trace_exhausted(&trace) {
+                break;
+            }
+        }
+        let s = fe.stats();
+        assert_eq!(s.calls, 20);
+        assert_eq!(s.rets, 20);
+        // After the cold call, returns predict perfectly via the RSB.
+        assert!(s.ret_mispredicts <= 1, "ret mispredicts {}", s.ret_mispredicts);
+    }
+
+    #[test]
+    fn corruption_tracking_disabled_when_iraw_off() {
+        let (mut fe, mut mem) = setup(Mechanism::Baseline);
+        let mut uops = Vec::new();
+        for i in 0..40 {
+            uops.push(Uop::branch(0x40_0100, None, i % 2 == 0, 0x40_0000));
+        }
+        let trace = Trace::new("alt", uops);
+        let mut now = 0;
+        while !fe.trace_exhausted(&trace) && now < 10_000 {
+            fe.fetch_cycle(&trace, &mut mem, now);
+            let _ = fe.take_decoded(2, now);
+            now += 1;
+        }
+        assert_eq!(fe.stats().bp_potential_corruptions, 0);
+        assert_eq!(fe.stats().rsb_potential_corruptions, 0);
+    }
+}

@@ -1,0 +1,674 @@
+//! The cycle-level in-order pipeline engine.
+//!
+//! Stage order within a cycle (oldest work first): long-latency
+//! completions → issue (with the paper's IRAW gates) → Store Table
+//! update → IQ allocation → fetch → scoreboard shift. Two scoreboards
+//! run in lockstep: the *real* one carries the IRAW-extended patterns
+//! (Figure 8), a *shadow* one carries the baseline patterns — an issue
+//! slot blocked by the real board but clear in the shadow board is, by
+//! construction, a cycle lost to IRAW avoidance, which is exactly how the
+//! paper's §5.2 attribution (8.52% RF / 0.30% DL0 / 0.04% rest at
+//! 575 mV) is measured here.
+
+pub mod frontend;
+pub mod memory;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use lowvcc_trace::{Reg, Trace, Uop, UopKind};
+use lowvcc_uarch::iq::InstQueue;
+use lowvcc_uarch::ports::PortSet;
+use lowvcc_uarch::scoreboard::{IrawWindow, Scoreboard};
+use lowvcc_uarch::stable::{StableMatch, StoreTable, TrackedStore};
+
+use crate::config::SimConfig;
+use crate::pipeline::frontend::FrontEnd;
+use crate::pipeline::memory::MemHierarchy;
+use crate::stats::{SimResult, SimStats};
+
+/// An instruction resident in the IQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IqEntry {
+    kind: UopKind,
+    dst: Option<Reg>,
+    src1: Option<Reg>,
+    src2: Option<Reg>,
+    addr: Option<u64>,
+    size: u8,
+    drain_noop: bool,
+}
+
+impl IqEntry {
+    fn from_uop(u: &Uop) -> Self {
+        Self {
+            kind: u.kind,
+            dst: u.dst,
+            src1: u.src1,
+            src2: u.src2,
+            addr: u.addr,
+            size: u.size,
+            drain_noop: false,
+        }
+    }
+
+    fn drain() -> Self {
+        Self {
+            kind: UopKind::Nop,
+            dst: None,
+            src1: None,
+            src2: None,
+            addr: None,
+            size: 0,
+            drain_noop: true,
+        }
+    }
+}
+
+/// Why the oldest instruction could not issue this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocker {
+    /// A source is not ready on the real scoreboard, but *would* be on the
+    /// baseline shadow board — pure IRAW delay.
+    IrawWindow,
+    /// A source is genuinely not ready (data dependence).
+    DataDependence,
+    /// Memory port / functional unit busy.
+    Structural,
+    /// DL0 post-fill stabilization guard.
+    Dl0FillGuard,
+    /// Store Table repair in progress.
+    StableRepair,
+    /// Register-file write port busy (Extra Bypass contention).
+    WritePort,
+}
+
+/// The simulation engine for one (config, trace) pair.
+#[derive(Debug)]
+pub struct Engine<'t> {
+    cfg: SimConfig,
+    trace: &'t Trace,
+    fe: FrontEnd,
+    mem: MemHierarchy,
+    iq: InstQueue<IqEntry>,
+    sb: Scoreboard,
+    shadow: Scoreboard,
+    stable: StoreTable,
+    pending: BinaryHeap<Reverse<(u64, u8)>>,
+    div_free_at: u64,
+    fpdiv_free_at: u64,
+    mem_port_free_at: u64,
+    repair_until: u64,
+    write_ports: PortSet,
+    store_this_cycle: Option<TrackedStore>,
+    iq_real_entries: usize,
+    /// The current IQ head has been blocked by the IRAW window at least
+    /// once (consumed into `iraw_delayed_instructions` when it issues).
+    head_iraw_delayed: bool,
+    now: u64,
+    stats: SimStats,
+}
+
+impl<'t> Engine<'t> {
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(cfg: SimConfig, trace: &'t Trace) -> Result<Self, String> {
+        cfg.validate()?;
+        let mem = MemHierarchy::new(&cfg)?;
+        let fe = FrontEnd::new(&cfg);
+        let mut stable = StoreTable::new(cfg.core.stable_max_entries);
+        // Paper §4.4: enable as many entries as IRAW cycles require.
+        stable.reconfigure(cfg.stabilization_cycles as usize);
+        Ok(Self {
+            fe,
+            mem,
+            iq: InstQueue::new(cfg.core.iq_entries),
+            sb: Scoreboard::new(cfg.core.scoreboard_width),
+            shadow: Scoreboard::new(cfg.core.scoreboard_width),
+            stable,
+            pending: BinaryHeap::new(),
+            div_free_at: 0,
+            fpdiv_free_at: 0,
+            mem_port_free_at: 0,
+            repair_until: 0,
+            write_ports: PortSet::new(2),
+            store_this_cycle: None,
+            iq_real_entries: 0,
+            head_iraw_delayed: false,
+            now: 0,
+            stats: SimStats::default(),
+            cfg,
+            trace,
+        })
+    }
+
+    fn window(&self) -> Option<IrawWindow> {
+        (self.cfg.stabilization_cycles > 0).then(|| IrawWindow {
+            bypass_levels: self.cfg.core.bypass_levels,
+            bubble: self.cfg.stabilization_cycles,
+        })
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid configuration or if the pipeline stops
+    /// making progress (a simulator bug, surfaced rather than hung).
+    pub fn run(mut self) -> Result<SimResult, String> {
+        let budget = 1_000 * self.trace.len() as u64 + 100_000;
+        while !self.finished() {
+            if self.now > budget {
+                return Err(format!(
+                    "no forward progress after {} cycles ({} of {} uops committed)",
+                    self.now,
+                    self.stats.instructions,
+                    self.trace.len()
+                ));
+            }
+            self.step();
+        }
+        self.stats.cycles = self.now;
+        self.stats.branches = self.fe.stats();
+        self.stats.il0 = self.mem.il0_stats();
+        self.stats.dl0 = self.mem.dl0_stats();
+        self.stats.ul1 = self.mem.ul1_stats();
+        self.stats.itlb = self.mem.itlb_stats();
+        self.stats.dtlb = self.mem.dtlb_stats();
+        self.stats.stable = self.stable.stats();
+        self.stats.stalls.other_fill = self.mem.other_fill_stall_cycles();
+        self.stats.memory_accesses = self.mem.memory_accesses();
+        debug_assert_eq!(self.stats.instructions, self.trace.len() as u64);
+        Ok(SimResult {
+            stats: self.stats,
+            cycle_time: self.cfg.cycle_time,
+        })
+    }
+
+    fn finished(&self) -> bool {
+        self.fe.trace_exhausted(self.trace)
+            && self.fe.queue_empty()
+            && self.iq.is_empty()
+            && self.pending.is_empty()
+    }
+
+    /// One cycle.
+    fn step(&mut self) {
+        let now = self.now;
+        // 1. Long-latency completions (load misses, divides).
+        let window = self.window();
+        while let Some(&Reverse((t, reg))) = self.pending.peek() {
+            if t > now {
+                break;
+            }
+            self.pending.pop();
+            let reg = Reg::new(reg).expect("registers validated at issue");
+            self.sb.complete(reg, window);
+            self.shadow.complete(reg, None);
+        }
+        // 2. Memory buffers.
+        self.mem.tick(now);
+        // 3. Issue.
+        self.issue_stage(now);
+        // 4. Store Table per-cycle update (after this cycle's probes).
+        if self.cfg.iraw_active() {
+            let committed = self.store_this_cycle.take();
+            self.stable.cycle_update(committed);
+        } else {
+            self.store_this_cycle = None;
+        }
+        // 5. Allocate into the IQ.
+        let room = self.cfg.core.iq_entries - self.iq.occupancy();
+        let width = self.cfg.core.alloc_width.min(room);
+        if width > 0 {
+            for d in self.fe.take_decoded(width, now) {
+                let entry = IqEntry::from_uop(&self.trace.uops[d.trace_idx]);
+                self.iq.alloc(entry).expect("room reserved above");
+                self.iq_real_entries += 1;
+            }
+        }
+        // 6. Fetch.
+        self.fe.fetch_cycle(self.trace, &mut self.mem, now);
+        // 7. End-of-trace drain: real instructions stuck under the gate
+        //    get NOOP padding (paper §4.2); once only padding remains,
+        //    the queue is architecturally empty and can be dropped.
+        if self.fe.trace_exhausted(self.trace) && self.fe.queue_empty() && !self.iq.is_empty() {
+            if self.iq_real_entries == 0 {
+                self.iq.flush();
+                self.head_iraw_delayed = false;
+            } else if !self.iq.issue_allowed(
+                self.cfg.core.issue_width,
+                self.cfg.core.alloc_width,
+                self.cfg.stabilization_cycles,
+            ) {
+                let pad = self.cfg.core.alloc_width * self.cfg.stabilization_cycles as usize;
+                let before = self.iq.occupancy();
+                self.iq.inject_drain(pad, IqEntry::drain);
+                self.stats.drain_noops += (self.iq.occupancy() - before) as u64;
+            }
+        }
+        // 8. Shift the ready registers.
+        self.sb.tick();
+        self.shadow.tick();
+        self.now += 1;
+    }
+
+    fn issue_stage(&mut self, now: u64) {
+        let gate_open = self.iq.issue_allowed(
+            self.cfg.core.issue_width,
+            self.cfg.core.alloc_width,
+            self.cfg.stabilization_cycles,
+        );
+        if !gate_open {
+            // Attribute the cycle to the IQ gate only if the head would
+            // otherwise issue (occupancy exists but is below threshold).
+            if let Some(head) = self.iq.front().copied() {
+                if self.blocker_for(&head, now).is_none() {
+                    self.stats.stalls.iq_iraw += 1;
+                }
+            }
+            return;
+        }
+        let mut mem_issued_this_cycle = false;
+        for slot in 0..self.cfg.core.issue_width {
+            let Some(entry) = self.iq.front().copied() else {
+                break;
+            };
+            // Enforce one memory op per cycle across the whole group.
+            if entry.kind.is_mem() && mem_issued_this_cycle {
+                break;
+            }
+            match self.blocker_for(&entry, now) {
+                None => {
+                    let mut entry = self.iq.pop_oldest().expect("front exists");
+                    let delayed = self.head_iraw_delayed;
+                    self.head_iraw_delayed = false;
+                    mem_issued_this_cycle |= entry.kind.is_mem();
+                    self.execute(&mut entry, now);
+                    if !entry.drain_noop {
+                        self.stats.instructions += 1;
+                        self.iq_real_entries -= 1;
+                        if delayed {
+                            self.stats.iraw_delayed_instructions += 1;
+                        }
+                    }
+                }
+                Some(blocker) => {
+                    // In-order issue stops at the first blocked entry, so
+                    // at most one attribution happens per cycle — whether
+                    // the bandwidth was lost at slot 0 (full stall) or a
+                    // later slot (partial).
+                    let _ = slot;
+                    self.attribute_stall(blocker);
+                    if blocker == Blocker::IrawWindow {
+                        // Mark the head so the 13.2% statistic counts it
+                        // once it finally issues (in-order issue: the
+                        // blocked entry is the head until it goes).
+                        self.head_iraw_delayed = true;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn attribute_stall(&mut self, blocker: Blocker) {
+        match blocker {
+            Blocker::IrawWindow => self.stats.stalls.rf_iraw += 1,
+            Blocker::Dl0FillGuard => self.stats.stalls.dl0_fill += 1,
+            Blocker::StableRepair => self.stats.stalls.dl0_stable += 1,
+            Blocker::WritePort => self.stats.write_port_stalls += 1,
+            Blocker::DataDependence | Blocker::Structural => {}
+        }
+    }
+
+    /// Decides whether `entry` can issue at `now`; returns the dominant
+    /// blocker otherwise.
+    fn blocker_for(&self, entry: &IqEntry, now: u64) -> Option<Blocker> {
+        // Source readiness on both boards.
+        let mut real_ready = true;
+        let mut shadow_ready = true;
+        for src in entry.src1.into_iter().chain(entry.src2) {
+            real_ready &= self.sb.is_ready(src);
+            shadow_ready &= self.shadow.is_ready(src);
+        }
+        if !real_ready {
+            return Some(if shadow_ready {
+                Blocker::IrawWindow
+            } else {
+                Blocker::DataDependence
+            });
+        }
+        // Structural hazards.
+        match entry.kind {
+            UopKind::IntDiv if now < self.div_free_at => return Some(Blocker::Structural),
+            UopKind::FpDiv if now < self.fpdiv_free_at => return Some(Blocker::Structural),
+            k if k.is_mem() => {
+                if now < self.mem_port_free_at {
+                    return Some(Blocker::Structural);
+                }
+                if now < self.repair_until {
+                    return Some(Blocker::StableRepair);
+                }
+                if self.mem.dl0_blocked(now) {
+                    return Some(Blocker::Dl0FillGuard);
+                }
+            }
+            _ => {}
+        }
+        // Extra Bypass write-port contention.
+        if self.cfg.extra_write_port_cycles > 0 && entry.dst.is_some() {
+            let wb = now + u64::from(self.cfg.core.latency_of(entry.kind));
+            if self.write_ports.free_count(wb) == 0 {
+                return Some(Blocker::WritePort);
+            }
+        }
+        None
+    }
+
+    fn execute(&mut self, entry: &mut IqEntry, now: u64) {
+        let window = self.window();
+        let latency = self.cfg.core.latency_of(entry.kind);
+        // Extra Bypass: reserve the write port for the extended write.
+        if self.cfg.extra_write_port_cycles > 0 && entry.dst.is_some() {
+            let wb = now + u64::from(latency);
+            let _ = self
+                .write_ports
+                .try_reserve(wb, 1 + u64::from(self.cfg.extra_write_port_cycles));
+        }
+        match entry.kind {
+            UopKind::Load => self.execute_load(entry, now),
+            UopKind::Store => self.execute_store(entry, now),
+            UopKind::IntDiv => {
+                self.div_free_at = now + u64::from(latency);
+                self.mark_long(entry.dst, now + u64::from(latency));
+            }
+            UopKind::FpDiv => {
+                self.fpdiv_free_at = now + u64::from(latency);
+                self.mark_long(entry.dst, now + u64::from(latency));
+            }
+            _ => {
+                if let Some(dst) = entry.dst {
+                    self.sb.set_producer(dst, latency, window);
+                    self.shadow.set_producer(dst, latency, None);
+                }
+            }
+        }
+    }
+
+    fn mark_long(&mut self, dst: Option<Reg>, ready_at: u64) {
+        if let Some(dst) = dst {
+            self.sb.mark_long_latency(dst);
+            self.shadow.mark_long_latency(dst);
+            self.pending.push(Reverse((ready_at, dst.index())));
+        }
+    }
+
+    fn execute_load(&mut self, entry: &mut IqEntry, now: u64) {
+        let addr = entry.addr.expect("loads carry addresses");
+        self.mem_port_free_at = now + 1;
+        let outcome = self.mem.data_access(addr, false, now);
+        let mut ready_at = outcome.ready_at;
+        // Probe the Store Table in parallel with the DL0 (paper Fig. 10).
+        if self.cfg.iraw_active() {
+            let set = self.mem.dl0_set_of(addr);
+            match self.stable.probe(addr, entry.size, set) {
+                StableMatch::None => {}
+                StableMatch::Full { replay_stores } => {
+                    // STable forwards the data at hit latency; repair
+                    // stalls subsequent memory ops while stores replay.
+                    ready_at = ready_at.min(now + u64::from(self.cfg.core.lat_dl0_hit));
+                    self.repair_until = now + 1 + u64::from(replay_stores);
+                }
+                StableMatch::SetOnly { replay_stores } => {
+                    self.repair_until = now + 1 + u64::from(replay_stores);
+                }
+            }
+        }
+        let dst = entry.dst.expect("loads have destinations");
+        let hit_lat = u64::from(self.cfg.core.lat_dl0_hit);
+        if ready_at <= now + hit_lat {
+            let lat = (ready_at - now).max(1) as u32;
+            let window = self.window();
+            self.sb.set_producer(dst, lat, window);
+            self.shadow.set_producer(dst, lat, None);
+        } else {
+            self.mark_long(Some(dst), ready_at);
+        }
+    }
+
+    fn execute_store(&mut self, entry: &mut IqEntry, now: u64) {
+        let addr = entry.addr.expect("stores carry addresses");
+        self.mem_port_free_at = now + 1;
+        let _ = self.mem.data_access(addr, true, now);
+        if self.cfg.iraw_active() {
+            self.store_this_cycle = Some(TrackedStore {
+                addr,
+                size: entry.size,
+                set: self.mem.dl0_set_of(addr),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoreConfig, Mechanism};
+    use lowvcc_sram::voltage::mv;
+    use lowvcc_sram::CycleTimeModel;
+
+    fn cfg(mechanism: Mechanism, vcc: u32) -> SimConfig {
+        SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &CycleTimeModel::silverthorne_45nm(),
+            mv(vcc),
+            mechanism,
+        )
+    }
+
+    fn reg(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    /// PCs cycle within one 64-byte line: a hot loop body, so the IL0
+    /// warms after one miss and tests measure the pipeline, not cold
+    /// compulsory misses.
+    fn loop_pc(i: usize) -> u64 {
+        0x40_0000 + (i as u64 % 16) * 4
+    }
+
+    fn alu_chain(n: usize) -> Trace {
+        // r1 = r1 + r1 repeatedly: every uop depends on its predecessor.
+        let uops = (0..n)
+            .map(|i| Uop::alu(loop_pc(i), Some(reg(1)), Some(reg(1)), None))
+            .collect();
+        Trace::new("chain", uops)
+    }
+
+    fn independent_alus(n: usize) -> Trace {
+        let uops = (0..n)
+            .map(|i| {
+                Uop::alu(
+                    loop_pc(i),
+                    Some(reg((16 + (i % 32)) as u8)),
+                    Some(reg(0)),
+                    None,
+                )
+            })
+            .collect();
+        Trace::new("independent", uops)
+    }
+
+    #[test]
+    fn commits_every_instruction() {
+        for mech in [Mechanism::Baseline, Mechanism::Iraw, Mechanism::IdealLogic] {
+            let trace = independent_alus(500);
+            let result = Engine::new(cfg(mech, 500), &trace).unwrap().run().unwrap();
+            assert_eq!(result.stats.instructions, 500, "{mech:?}");
+            assert!(result.stats.cycles > 250, "at most 2 IPC");
+        }
+    }
+
+    #[test]
+    fn independent_stream_reaches_high_ipc() {
+        let trace = independent_alus(4000);
+        let result = Engine::new(cfg(Mechanism::Baseline, 600), &trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        let ipc = result.stats.ipc();
+        assert!(ipc > 1.5, "2-wide independent ALUs should near 2 IPC, got {ipc:.2}");
+    }
+
+    #[test]
+    fn dependent_chain_is_serial() {
+        let trace = alu_chain(2000);
+        let result = Engine::new(cfg(Mechanism::Baseline, 600), &trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        let ipc = result.stats.ipc();
+        assert!(ipc < 1.1, "back-to-back chain can't dual-issue, got {ipc:.2}");
+    }
+
+    #[test]
+    fn iraw_inserts_rf_bubbles_on_two_cycle_consumers() {
+        // Groups of six uops: producer, four independents, then a consumer
+        // of the producer. At 2-wide issue the consumer lands exactly two
+        // cycles after the producer — the stabilization hole (Figure 8's
+        // cycle i+4): bypass has passed, the RF entry is still settling.
+        let mut uops = Vec::new();
+        for i in 0..500u64 {
+            let d = reg((16 + (i % 16)) as u8);
+            let base = 6 * i as usize;
+            uops.push(Uop::alu(loop_pc(base), Some(d), Some(reg(0)), None));
+            for k in 1..5 {
+                uops.push(Uop::alu(
+                    loop_pc(base + k),
+                    Some(reg((40 + ((i as usize + k) % 16)) as u8)),
+                    Some(reg(0)),
+                    None,
+                ));
+            }
+            uops.push(Uop::alu(loop_pc(base + 5), Some(reg(15)), Some(d), None));
+        }
+        let trace = Trace::new("gap", uops);
+        let base = Engine::new(cfg(Mechanism::Baseline, 500), &trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        let iraw = Engine::new(cfg(Mechanism::Iraw, 500), &trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(base.stats.stalls.rf_iraw, 0, "baseline has no IRAW stalls");
+        assert_eq!(base.stats.iraw_delayed_instructions, 0);
+        assert!(
+            iraw.stats.stalls.rf_iraw > 0,
+            "IRAW must delay window consumers"
+        );
+        assert!(iraw.stats.iraw_delayed_instructions > 0);
+        // The IRAW run burns more cycles…
+        assert!(iraw.stats.cycles > base.stats.cycles);
+        // …but its faster clock still wins overall at 500 mV.
+        assert!(iraw.speedup_over(&base) > 1.0);
+    }
+
+    #[test]
+    fn back_to_back_consumers_use_the_bypass() {
+        // Distance-1 consumers ride the bypass network: IRAW adds nothing.
+        let trace = alu_chain(1000);
+        let base = Engine::new(cfg(Mechanism::Baseline, 500), &trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        let iraw = Engine::new(cfg(Mechanism::Iraw, 500), &trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        // A pure chain issues one per cycle in both cases (bypass hit);
+        // cycle counts stay close (fetch effects aside).
+        let ratio = iraw.stats.cycles as f64 / base.stats.cycles as f64;
+        assert!(
+            ratio < 1.05,
+            "bypassed chain should not suffer IRAW stalls (ratio {ratio:.3})"
+        );
+    }
+
+    #[test]
+    fn store_load_pair_triggers_stable_repair() {
+        let mut uops = Vec::new();
+        // Interleave store → immediately-following load of the same
+        // address, repeatedly.
+        for i in 0..200u64 {
+            let addr = 0x10_0000 + (i % 4) * 8;
+            uops.push(Uop::store(loop_pc(2 * i as usize), Some(reg(0)), None, addr, 8));
+            uops.push(Uop::load(loop_pc(2 * i as usize + 1), reg(17), None, addr, 8));
+        }
+        let trace = Trace::new("stld", uops);
+        let iraw = Engine::new(cfg(Mechanism::Iraw, 500), &trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            iraw.stats.stable.full_matches > 0,
+            "same-address store→load must hit the STable"
+        );
+        let base = Engine::new(cfg(Mechanism::Baseline, 500), &trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(base.stats.stable.probes, 0, "STable off in baseline");
+    }
+
+    #[test]
+    fn drain_noops_flush_the_gate() {
+        // A short trace whose tail would sit below the occupancy gate
+        // forever without NOOP injection.
+        let trace = independent_alus(3);
+        let result = Engine::new(cfg(Mechanism::Iraw, 500), &trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(result.stats.instructions, 3);
+        assert!(result.stats.drain_noops > 0, "gate needs NOOP padding");
+    }
+
+    #[test]
+    fn long_latency_divide_blocks_consumers_until_event() {
+        let mut uops = vec![
+            {
+                let mut u = Uop::alu(loop_pc(0), Some(reg(20)), Some(reg(0)), None);
+                u.kind = UopKind::IntDiv;
+                u
+            },
+            Uop::alu(loop_pc(1), Some(reg(21)), Some(reg(20)), None),
+        ];
+        for i in 0..20u64 {
+            uops.push(Uop::alu(loop_pc(2 + i as usize), Some(reg(22)), Some(reg(0)), None));
+        }
+        let trace = Trace::new("div", uops);
+        let result = Engine::new(cfg(Mechanism::Baseline, 600), &trace)
+            .unwrap()
+            .run()
+            .unwrap();
+        // Divide latency (16) dominates this short trace.
+        assert!(result.stats.cycles > 16);
+        assert_eq!(result.stats.instructions, 22);
+    }
+
+    #[test]
+    fn ideal_logic_is_fastest_in_time() {
+        let trace = independent_alus(2000);
+        let results: Vec<_> = [Mechanism::IdealLogic, Mechanism::Iraw, Mechanism::Baseline]
+            .iter()
+            .map(|&m| Engine::new(cfg(m, 450), &trace).unwrap().run().unwrap())
+            .collect();
+        assert!(results[0].seconds() <= results[1].seconds());
+        assert!(results[1].seconds() <= results[2].seconds());
+    }
+}

@@ -1,0 +1,116 @@
+//! The public simulator facade.
+
+use lowvcc_trace::Trace;
+
+use crate::config::SimConfig;
+use crate::pipeline::Engine;
+use crate::stats::SimResult;
+
+/// A configured simulator, ready to replay traces.
+///
+/// ```
+/// use lowvcc_core::{CoreConfig, Mechanism, SimConfig, Simulator};
+/// use lowvcc_sram::{CycleTimeModel, Millivolts};
+/// use lowvcc_trace::{TraceSpec, WorkloadFamily};
+///
+/// # fn main() -> Result<(), String> {
+/// let timing = CycleTimeModel::silverthorne_45nm();
+/// let vcc = Millivolts::new(500).map_err(|e| e.to_string())?;
+/// let cfg = SimConfig::at_vcc(CoreConfig::silverthorne(), &timing, vcc, Mechanism::Iraw);
+/// let sim = Simulator::new(cfg)?;
+/// let trace = TraceSpec::new(WorkloadFamily::Kernel, 0, 2_000).build()?;
+/// let result = sim.run(&trace)?;
+/// assert_eq!(result.stats.instructions, 2_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator, validating the configuration once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration problem found.
+    pub fn new(cfg: SimConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Self { cfg })
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Replays `trace` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine detects a live-lock (a simulator
+    /// bug surfaced rather than a hang).
+    pub fn run(&self, trace: &Trace) -> Result<SimResult, String> {
+        Engine::new(self.cfg.clone(), trace)?.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoreConfig, Mechanism};
+    use lowvcc_sram::voltage::mv;
+    use lowvcc_sram::CycleTimeModel;
+    use lowvcc_trace::{TraceSpec, WorkloadFamily};
+
+    #[test]
+    fn runs_a_synthetic_trace_end_to_end() {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let cfg = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(500),
+            Mechanism::Iraw,
+        );
+        let sim = Simulator::new(cfg).unwrap();
+        let trace = TraceSpec::new(WorkloadFamily::SpecInt, 1, 20_000)
+            .build()
+            .unwrap();
+        let result = sim.run(&trace).unwrap();
+        assert_eq!(result.stats.instructions, 20_000);
+        assert!(result.stats.ipc() > 0.1 && result.stats.ipc() < 2.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let cfg = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(475),
+            Mechanism::Iraw,
+        );
+        let sim = Simulator::new(cfg).unwrap();
+        let trace = TraceSpec::new(WorkloadFamily::Office, 2, 3_000)
+            .build()
+            .unwrap();
+        let a = sim.run(&trace).unwrap();
+        let b = sim.run(&trace).unwrap();
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let mut cfg = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(500),
+            Mechanism::Iraw,
+        );
+        cfg.core.iq_entries = 33;
+        assert!(Simulator::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Simulation statistics and the paper's stall attribution.
+//!
+//! The paper's §5.2 quantifies exactly where IRAW avoidance loses IPC:
+//! at 575 mV the total 8.86% drop splits into 8.52% from register-file
+//! issue stalls, 0.30% from the DL0 (Store Table repairs + post-fill
+//! stalls) and 0.04% from all other blocks. [`StallBreakdown`] mirrors
+//! that attribution, and [`SimStats::delayed_instruction_fraction`]
+//! reproduces the "13.2% of instructions delayed" statistic.
+
+use lowvcc_sram::Picoseconds;
+use lowvcc_uarch::cache::CacheStats;
+use lowvcc_uarch::stable::StableStats;
+use lowvcc_uarch::tlb::TlbStats;
+
+/// Issue-stall cycles attributed to each IRAW mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StallBreakdown {
+    /// Cycles the oldest ready-to-issue instruction was blocked *only* by
+    /// the register-file IRAW bubble (sources ready under the baseline
+    /// scoreboard, blocked under the extended one).
+    pub rf_iraw: u64,
+    /// Cycles issue was blocked *only* by the IQ occupancy gate.
+    pub iq_iraw: u64,
+    /// Cycles a memory op was blocked by a Store Table repair.
+    pub dl0_stable: u64,
+    /// Cycles a memory op was blocked by the DL0 post-fill guard.
+    pub dl0_fill: u64,
+    /// Cycles fetch or memory were blocked by the remaining blocks'
+    /// post-fill guards (IL0, UL1, TLBs, FB, WCB/EB).
+    pub other_fill: u64,
+}
+
+impl StallBreakdown {
+    /// All IRAW-attributed stall cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.rf_iraw + self.iq_iraw + self.dl0_stable + self.dl0_fill + self.other_fill
+    }
+
+    /// DL0-attributed cycles (Store Table + fill guard), the paper's
+    /// "0.30%" bucket.
+    #[must_use]
+    pub fn dl0_total(&self) -> u64 {
+        self.dl0_stable + self.dl0_fill
+    }
+}
+
+/// Branch-prediction statistics, including the §4.5 corruption windows.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BranchStats {
+    /// Conditional branches fetched.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+    /// Calls fetched.
+    pub calls: u64,
+    /// Returns fetched.
+    pub rets: u64,
+    /// Mispredicted returns.
+    pub ret_mispredicts: u64,
+    /// BP reads that fell within the IRAW window of a direction-bit
+    /// flip (potential extra mispredictions; paper: ≈0.0017%).
+    pub bp_potential_corruptions: u64,
+    /// RSB pops within the IRAW window of their push (paper: none seen).
+    pub rsb_potential_corruptions: u64,
+}
+
+impl BranchStats {
+    /// Misprediction ratio over conditional branches.
+    #[must_use]
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Potential BP corruption rate over BP reads (≈ branches).
+    #[must_use]
+    pub fn bp_corruption_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.bp_potential_corruptions as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Complete statistics of one simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed (trace uops).
+    pub instructions: u64,
+    /// Instructions whose issue was delayed at least one cycle by the
+    /// register-file IRAW mechanism (the paper's 13.2% statistic).
+    pub iraw_delayed_instructions: u64,
+    /// Stall attribution.
+    pub stalls: StallBreakdown,
+    /// Branch statistics.
+    pub branches: BranchStats,
+    /// IL0 statistics.
+    pub il0: CacheStats,
+    /// DL0 statistics.
+    pub dl0: CacheStats,
+    /// UL1 statistics.
+    pub ul1: CacheStats,
+    /// ITLB statistics.
+    pub itlb: TlbStats,
+    /// DTLB statistics.
+    pub dtlb: TlbStats,
+    /// Store Table statistics.
+    pub stable: StableStats,
+    /// Off-chip memory accesses.
+    pub memory_accesses: u64,
+    /// NOOPs injected to drain the IQ past the occupancy gate.
+    pub drain_noops: u64,
+    /// Issue cycles lost to register-file write-port contention
+    /// (non-zero only for the Extra Bypass baseline).
+    pub write_port_stalls: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of instructions delayed by RF IRAW avoidance.
+    #[must_use]
+    pub fn delayed_instruction_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.iraw_delayed_instructions as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of cycles attributed to each IRAW stall source, as
+    /// `(rf, iq, dl0, other)` — comparable to the paper's 575 mV
+    /// breakdown.
+    #[must_use]
+    pub fn stall_fractions(&self) -> (f64, f64, f64, f64) {
+        if self.cycles == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let c = self.cycles as f64;
+        (
+            self.stalls.rf_iraw as f64 / c,
+            self.stalls.iq_iraw as f64 / c,
+            self.stalls.dl0_total() as f64 / c,
+            self.stalls.other_fill as f64 / c,
+        )
+    }
+}
+
+/// A finished run: statistics plus the clock that turns cycles into time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Run statistics.
+    pub stats: SimStats,
+    /// Cycle time of the run.
+    pub cycle_time: Picoseconds,
+}
+
+impl SimResult {
+    /// Wall-clock execution time in seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.stats.cycles as f64 * self.cycle_time.seconds()
+    }
+
+    /// Instructions per second.
+    #[must_use]
+    pub fn instructions_per_second(&self) -> f64 {
+        if self.seconds() == 0.0 {
+            0.0
+        } else {
+            self.stats.instructions as f64 / self.seconds()
+        }
+    }
+
+    /// Speedup of `self` over `other` for the same work (time ratio).
+    #[must_use]
+    pub fn speedup_over(&self, other: &SimResult) -> f64 {
+        other.seconds() / self.seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals() {
+        let b = StallBreakdown {
+            rf_iraw: 100,
+            iq_iraw: 5,
+            dl0_stable: 3,
+            dl0_fill: 7,
+            other_fill: 2,
+        };
+        assert_eq!(b.total(), 117);
+        assert_eq!(b.dl0_total(), 10);
+    }
+
+    #[test]
+    fn ipc_and_fractions() {
+        let stats = SimStats {
+            cycles: 1000,
+            instructions: 1400,
+            iraw_delayed_instructions: 185,
+            stalls: StallBreakdown {
+                rf_iraw: 85,
+                iq_iraw: 1,
+                dl0_stable: 2,
+                dl0_fill: 1,
+                other_fill: 1,
+            },
+            ..SimStats::default()
+        };
+        assert!((stats.ipc() - 1.4).abs() < 1e-12);
+        assert!((stats.delayed_instruction_fraction() - 185.0 / 1400.0).abs() < 1e-12);
+        let (rf, iq, dl0, other) = stats.stall_fractions();
+        assert!((rf - 0.085).abs() < 1e-12);
+        assert!((iq - 0.001).abs() < 1e-12);
+        assert!((dl0 - 0.003).abs() < 1e-12);
+        assert!((other - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero_not_nan() {
+        let stats = SimStats::default();
+        assert_eq!(stats.ipc(), 0.0);
+        assert_eq!(stats.delayed_instruction_fraction(), 0.0);
+        assert_eq!(stats.stall_fractions(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(BranchStats::default().mispredict_ratio(), 0.0);
+        assert_eq!(BranchStats::default().bp_corruption_rate(), 0.0);
+    }
+
+    #[test]
+    fn result_time_and_speedup() {
+        let fast = SimResult {
+            stats: SimStats {
+                cycles: 1000,
+                instructions: 1000,
+                ..SimStats::default()
+            },
+            cycle_time: Picoseconds::new(500.0),
+        };
+        let slow = SimResult {
+            stats: SimStats {
+                cycles: 1000,
+                instructions: 1000,
+                ..SimStats::default()
+            },
+            cycle_time: Picoseconds::new(1000.0),
+        };
+        assert!((fast.seconds() - 5e-7).abs() < 1e-18);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!(fast.instructions_per_second() > slow.instructions_per_second());
+    }
+}

@@ -1,0 +1,246 @@
+//! Per-Vcc operating-point selection (paper §4.1.3, "Multiple Vcc
+//! Operation").
+//!
+//! The paper's mechanism is reconfigured whenever the DVFS controller
+//! changes Vcc: at 600 mV or higher IRAW avoidance is deactivated (the ≈1%
+//! frequency gain would be "largely offset by the stalls"), below 600 mV it
+//! is enabled with the appropriate stabilization-cycle count `N`. This
+//! module packages that decision rule, for both a pure-performance and a
+//! minimum-EDP objective.
+
+use lowvcc_sram::{CycleTimeModel, Megahertz, Millivolts, TimingLimiter, VccRange};
+
+use crate::model::EnergyModel;
+
+/// Optimization objective for operating-point selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Maximize performance (minimize execution time).
+    Performance,
+    /// Minimize energy-delay product.
+    MinEdp,
+}
+
+/// A chosen operating point at one supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage.
+    pub vcc: Millivolts,
+    /// Whether IRAW avoidance is enabled.
+    pub iraw_active: bool,
+    /// Stabilization cycles `N` programmed into the mechanisms
+    /// (0 when IRAW is off).
+    pub stabilization_cycles: u32,
+    /// Resulting clock frequency.
+    pub frequency: Megahertz,
+    /// Predicted speedup over the write-limited baseline at this Vcc.
+    pub predicted_speedup: f64,
+}
+
+/// Decides, per Vcc, whether IRAW avoidance pays off.
+///
+/// The controller predicts IRAW performance as
+/// `frequency gain / (1 + stall overhead)`; the stall overhead defaults to
+/// the paper's measured 8–10% band (9%).
+///
+/// ```
+/// use lowvcc_energy::{DvfsController, Objective};
+/// use lowvcc_sram::Millivolts;
+///
+/// let ctl = DvfsController::silverthorne_45nm();
+/// // Paper §4.1.3: IRAW off at 600 mV and above, on at 575 mV and below.
+/// assert!(!ctl.select(Millivolts::new(600)?, Objective::Performance).iraw_active);
+/// assert!(ctl.select(Millivolts::new(575)?, Objective::Performance).iraw_active);
+/// # Ok::<(), lowvcc_sram::VoltageError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsController {
+    timing: CycleTimeModel,
+    energy: EnergyModel,
+    stall_overhead: f64,
+}
+
+impl DvfsController {
+    /// Stall overhead assumed by the predictor (paper: 8–10%).
+    pub const DEFAULT_STALL_OVERHEAD: f64 = 0.09;
+
+    /// Controller with the calibrated 45 nm models.
+    #[must_use]
+    pub fn silverthorne_45nm() -> Self {
+        Self {
+            timing: CycleTimeModel::silverthorne_45nm(),
+            energy: EnergyModel::silverthorne_45nm(),
+            stall_overhead: Self::DEFAULT_STALL_OVERHEAD,
+        }
+    }
+
+    /// Controller with custom models and stall-overhead estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stall_overhead` is negative.
+    #[must_use]
+    pub fn new(timing: CycleTimeModel, energy: EnergyModel, stall_overhead: f64) -> Self {
+        assert!(stall_overhead >= 0.0, "stall overhead cannot be negative");
+        Self {
+            timing,
+            energy,
+            stall_overhead,
+        }
+    }
+
+    /// The timing model in use.
+    #[must_use]
+    pub fn timing(&self) -> &CycleTimeModel {
+        &self.timing
+    }
+
+    /// Predicted IRAW speedup over the baseline at `v`
+    /// (frequency gain discounted by stall overhead).
+    #[must_use]
+    pub fn predicted_speedup(&self, v: Millivolts) -> f64 {
+        self.timing.frequency_gain(v) / (1.0 + self.stall_overhead)
+    }
+
+    /// Predicted IRAW/baseline EDP ratio at `v`, using the energy model's
+    /// leakage split (same dynamic energy, leakage ∝ time).
+    #[must_use]
+    pub fn predicted_edp_ratio(&self, v: Millivolts) -> f64 {
+        let speedup = self.predicted_speedup(v);
+        let delay_ratio = 1.0 / speedup;
+        // Baseline leakage fraction for the reference workload.
+        let instructions = 1_000_000u64;
+        let t_base = instructions as f64
+            * EnergyModel::REFERENCE_CPI
+            * self.timing.baseline_cycle(v).seconds();
+        let lambda = self
+            .energy
+            .breakdown(v, instructions, t_base, 1.0)
+            .leakage_fraction();
+        let energy_ratio = (1.0 - lambda) + lambda * delay_ratio;
+        energy_ratio * delay_ratio
+    }
+
+    /// Selects the operating point at `v` under `objective`.
+    #[must_use]
+    pub fn select(&self, v: Millivolts, objective: Objective) -> OperatingPoint {
+        let n = self.timing.stabilization_cycles(v);
+        let beneficial = match objective {
+            Objective::Performance => self.predicted_speedup(v) > 1.0,
+            Objective::MinEdp => self.predicted_edp_ratio(v) < 1.0,
+        };
+        let iraw_active = n > 0 && beneficial;
+        let limiter = if iraw_active {
+            TimingLimiter::Iraw
+        } else {
+            TimingLimiter::WriteLimited
+        };
+        OperatingPoint {
+            vcc: v,
+            iraw_active,
+            stabilization_cycles: if iraw_active { n } else { 0 },
+            frequency: self.timing.frequency(v, limiter),
+            predicted_speedup: if iraw_active {
+                self.predicted_speedup(v)
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Operating points across a DVFS sweep.
+    #[must_use]
+    pub fn schedule(&self, sweep: VccRange, objective: Objective) -> Vec<OperatingPoint> {
+        sweep.iter().map(|v| self.select(v, objective)).collect()
+    }
+}
+
+impl Default for DvfsController {
+    fn default() -> Self {
+        Self::silverthorne_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowvcc_sram::voltage::mv;
+    use lowvcc_sram::PAPER_SWEEP;
+
+    fn ctl() -> DvfsController {
+        DvfsController::silverthorne_45nm()
+    }
+
+    #[test]
+    fn iraw_off_at_and_above_600mv() {
+        let c = ctl();
+        for v in [600, 625, 650, 675, 700] {
+            for obj in [Objective::Performance, Objective::MinEdp] {
+                let op = c.select(mv(v), obj);
+                assert!(!op.iraw_active, "{v} mV {obj:?}");
+                assert_eq!(op.stabilization_cycles, 0);
+                assert_eq!(op.predicted_speedup, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn iraw_on_below_600mv() {
+        let c = ctl();
+        for v in [575, 550, 500, 450, 400] {
+            for obj in [Objective::Performance, Objective::MinEdp] {
+                let op = c.select(mv(v), obj);
+                assert!(op.iraw_active, "{v} mV {obj:?}");
+                assert_eq!(op.stabilization_cycles, 1);
+                assert!(op.predicted_speedup > 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_speedups_match_paper_band() {
+        let c = ctl();
+        // Paper: +48% performance at 500 mV, +90% at 400 mV.
+        let s500 = c.predicted_speedup(mv(500));
+        let s400 = c.predicted_speedup(mv(400));
+        assert!((s500 - 1.48).abs() < 0.05, "500 mV speedup {s500:.3}");
+        assert!((s400 - 1.90).abs() < 0.12, "400 mV speedup {s400:.3}");
+    }
+
+    #[test]
+    fn predicted_edp_matches_paper_band() {
+        let c = ctl();
+        // Paper Figure 12: relative EDP ≈0.61 @500 mV, ≈0.41 @450, ≈0.33 @400.
+        let cases = [(500, 0.61, 0.07), (450, 0.41, 0.07), (400, 0.33, 0.07)];
+        for (v, want, tol) in cases {
+            let got = c.predicted_edp_ratio(mv(v));
+            assert!(
+                (got - want).abs() < tol,
+                "EDP ratio at {v} mV: {got:.3}, paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_covers_sweep_and_frequency_decreases() {
+        let c = ctl();
+        let sched = c.schedule(PAPER_SWEEP, Objective::Performance);
+        assert_eq!(sched.len(), 13);
+        for pair in sched.windows(2) {
+            assert!(
+                pair[0].frequency.megahertz() >= pair[1].frequency.megahertz(),
+                "frequency must fall with Vcc"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stall overhead")]
+    fn negative_stall_overhead_rejected() {
+        let _ = DvfsController::new(
+            CycleTimeModel::silverthorne_45nm(),
+            EnergyModel::silverthorne_45nm(),
+            -0.1,
+        );
+    }
+}

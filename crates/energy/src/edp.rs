@@ -1,0 +1,321 @@
+//! Energy and power newtypes, energy breakdowns, and EDP metrics.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// An energy amount in joules.
+///
+/// ```
+/// use lowvcc_energy::Joules;
+///
+/// let e = Joules::new(2.0) + Joules::new(3.0);
+/// assert_eq!(e.joules(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(f64);
+
+impl Joules {
+    /// Creates an energy value.
+    #[must_use]
+    pub fn new(j: f64) -> Self {
+        Self(j)
+    }
+
+    /// Returns the value in joules.
+    #[must_use]
+    pub fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in nanojoules.
+    #[must_use]
+    pub fn nanojoules(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Add for Joules {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Joules {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Joules {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<Joules> for Joules {
+    type Output = f64;
+    fn div(self, rhs: Joules) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|j| j.0).sum())
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} J", self.0)
+    }
+}
+
+/// A power in watts.
+///
+/// ```
+/// use lowvcc_energy::Watts;
+///
+/// let leak = Watts::new(0.010);
+/// assert_eq!(leak.over_seconds(2.0).joules(), 0.020);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Creates a power value.
+    #[must_use]
+    pub fn new(w: f64) -> Self {
+        Self(w)
+    }
+
+    /// Returns the value in watts.
+    #[must_use]
+    pub fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in milliwatts.
+    #[must_use]
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Energy dissipated over a duration in seconds.
+    #[must_use]
+    pub fn over_seconds(self, seconds: f64) -> Joules {
+        Joules(self.0 * seconds)
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} mW", self.0 * 1e3)
+    }
+}
+
+/// Energy split into dynamic (switching) and leakage components.
+///
+/// The paper's central energy argument lives in this split: the IRAW core
+/// and the baseline burn the same dynamic energy for the same work, but
+/// the slower baseline accumulates far more leakage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Switching energy.
+    pub dynamic: Joules,
+    /// Static (leakage) energy accumulated over the run time.
+    pub leakage: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Creates a breakdown from the two components.
+    #[must_use]
+    pub fn new(dynamic: Joules, leakage: Joules) -> Self {
+        Self { dynamic, leakage }
+    }
+
+    /// Total energy.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        self.dynamic + self.leakage
+    }
+
+    /// Leakage share of total energy (0..1).
+    #[must_use]
+    pub fn leakage_fraction(&self) -> f64 {
+        let total = self.total().joules();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.leakage.joules() / total
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            dynamic: self.dynamic + rhs.dynamic,
+            leakage: self.leakage + rhs.leakage,
+        }
+    }
+}
+
+/// A (delay, energy) sample and its derived energy-delay product.
+///
+/// ```
+/// use lowvcc_energy::{EdpPoint, EnergyBreakdown, Joules};
+///
+/// let a = EdpPoint::new(2.0, EnergyBreakdown::new(Joules::new(4.0), Joules::new(1.0)));
+/// let b = EdpPoint::new(1.0, EnergyBreakdown::new(Joules::new(4.0), Joules::new(0.5)));
+/// // b finishes 2× faster with 10% less energy: EDP ratio well below 1.
+/// let rel = b.relative_to(&a);
+/// assert!(rel.edp < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdpPoint {
+    delay_seconds: f64,
+    energy: EnergyBreakdown,
+}
+
+impl EdpPoint {
+    /// Creates a point from execution time and energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_seconds` is not strictly positive.
+    #[must_use]
+    pub fn new(delay_seconds: f64, energy: EnergyBreakdown) -> Self {
+        assert!(delay_seconds > 0.0, "delay must be positive");
+        Self {
+            delay_seconds,
+            energy,
+        }
+    }
+
+    /// Execution time in seconds.
+    #[must_use]
+    pub fn delay_seconds(&self) -> f64 {
+        self.delay_seconds
+    }
+
+    /// Energy breakdown.
+    #[must_use]
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.energy
+    }
+
+    /// Energy-delay product in joule-seconds.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy.total().joules() * self.delay_seconds
+    }
+
+    /// Delay, energy and EDP ratios of `self` relative to `baseline`
+    /// (the paper's Figure 12 y-axis).
+    #[must_use]
+    pub fn relative_to(&self, baseline: &EdpPoint) -> RelativeEdp {
+        RelativeEdp {
+            delay: self.delay_seconds / baseline.delay_seconds,
+            energy: self.energy.total() / baseline.energy.total(),
+            edp: self.edp() / baseline.edp(),
+        }
+    }
+}
+
+/// Delay/energy/EDP of one configuration relative to a baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeEdp {
+    /// Execution-time ratio (lower is faster).
+    pub delay: f64,
+    /// Total-energy ratio (lower is leaner).
+    pub energy: f64,
+    /// EDP ratio (lower is better).
+    pub edp: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joules_arithmetic() {
+        let a = Joules::new(1.5);
+        let b = Joules::new(0.5);
+        assert_eq!((a + b).joules(), 2.0);
+        assert_eq!((a - b).joules(), 1.0);
+        assert_eq!((a * 2.0).joules(), 3.0);
+        assert_eq!(a / b, 3.0);
+        assert_eq!(Joules::new(1e-9).nanojoules(), 1.0);
+        let sum: Joules = [a, b].into_iter().sum();
+        assert_eq!(sum.joules(), 2.0);
+    }
+
+    #[test]
+    fn watts_times_time_is_energy() {
+        assert_eq!(Watts::new(2.0).over_seconds(3.0).joules(), 6.0);
+        assert_eq!(Watts::new(0.5).milliwatts(), 500.0);
+        assert_eq!((Watts::new(2.0) * 0.5).watts(), 1.0);
+    }
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let e = EnergyBreakdown::new(Joules::new(9.0), Joules::new(1.0));
+        assert_eq!(e.total().joules(), 10.0);
+        assert!((e.leakage_fraction() - 0.1).abs() < 1e-12);
+        let zero = EnergyBreakdown::default();
+        assert_eq!(zero.leakage_fraction(), 0.0);
+        let sum = e + e;
+        assert_eq!(sum.total().joules(), 20.0);
+    }
+
+    #[test]
+    fn paper_450mv_worked_example_ratios() {
+        // Paper §5.3: baseline 8.50 J (4.74 leak), IRAW 6.40 J (2.64 leak);
+        // the published speedup implies delay ratio ≈ 4.74/2.64 via leakage
+        // proportionality. EDP ratio then lands near the published 0.41.
+        let baseline = EdpPoint::new(
+            4.74,
+            EnergyBreakdown::new(Joules::new(8.50 - 4.74), Joules::new(4.74)),
+        );
+        let iraw = EdpPoint::new(
+            2.64,
+            EnergyBreakdown::new(Joules::new(6.40 - 2.64), Joules::new(2.64)),
+        );
+        let rel = iraw.relative_to(&baseline);
+        assert!((rel.energy - 6.40 / 8.50).abs() < 1e-12);
+        assert!((rel.edp - 0.42).abs() < 0.02, "edp {:.3}", rel.edp);
+    }
+
+    #[test]
+    fn edp_is_energy_times_delay() {
+        let p = EdpPoint::new(2.0, EnergyBreakdown::new(Joules::new(3.0), Joules::new(1.0)));
+        assert_eq!(p.edp(), 8.0);
+        assert_eq!(p.delay_seconds(), 2.0);
+        assert_eq!(p.energy().total().joules(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be positive")]
+    fn zero_delay_rejected() {
+        let _ = EdpPoint::new(0.0, EnergyBreakdown::default());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Joules::new(1.5).to_string(), "1.5000 J");
+        assert_eq!(Watts::new(0.0105).to_string(), "10.5 mW");
+    }
+}

@@ -1,0 +1,253 @@
+//! Monotone cubic (PCHIP / Fritsch–Carlson) interpolation.
+//!
+//! The leakage-power curve is anchored at a handful of voltages derived
+//! from the paper's published energy fractions; in between we need a smooth
+//! interpolant that cannot overshoot (leakage must stay monotone in Vcc).
+//! Fritsch–Carlson shape-preserving cubic Hermite interpolation is the
+//! standard tool; implemented from scratch to keep the dependency list to
+//! the sanctioned crates.
+
+use std::fmt;
+
+/// Error constructing a [`MonotoneCubic`] interpolant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// Fewer than two knots supplied.
+    TooFewKnots,
+    /// Knot x-coordinates are not strictly increasing.
+    NonIncreasingX {
+        /// Index of the offending knot.
+        index: usize,
+    },
+    /// A knot coordinate is NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewKnots => write!(f, "interpolation needs at least two knots"),
+            Self::NonIncreasingX { index } => {
+                write!(f, "knot x-coordinates must strictly increase (index {index})")
+            }
+            Self::NonFinite => write!(f, "knot coordinates must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Shape-preserving piecewise-cubic interpolant.
+///
+/// Evaluation outside the knot range clamps to the end values (flat
+/// extrapolation), which is the conservative choice for physical curves.
+///
+/// ```
+/// use lowvcc_energy::MonotoneCubic;
+///
+/// let f = MonotoneCubic::new(&[(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)])?;
+/// assert_eq!(f.eval(0.0), 0.0);
+/// assert_eq!(f.eval(2.0), 4.0);
+/// let mid = f.eval(1.5);
+/// assert!(mid > 1.0 && mid < 4.0);
+/// # Ok::<(), lowvcc_energy::interp::InterpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonotoneCubic {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Hermite tangents at each knot.
+    ms: Vec<f64>,
+}
+
+impl MonotoneCubic {
+    /// Builds the interpolant from `(x, y)` knots with strictly
+    /// increasing `x`.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn new(knots: &[(f64, f64)]) -> Result<Self, InterpError> {
+        if knots.len() < 2 {
+            return Err(InterpError::TooFewKnots);
+        }
+        if knots.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(InterpError::NonFinite);
+        }
+        for (i, pair) in knots.windows(2).enumerate() {
+            if pair[1].0 <= pair[0].0 {
+                return Err(InterpError::NonIncreasingX { index: i + 1 });
+            }
+        }
+        let xs: Vec<f64> = knots.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = knots.iter().map(|&(_, y)| y).collect();
+        let n = xs.len();
+
+        // Secant slopes.
+        let deltas: Vec<f64> = (0..n - 1)
+            .map(|i| (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i]))
+            .collect();
+
+        // Initial tangents: three-point average at interior knots.
+        let mut ms = vec![0.0; n];
+        ms[0] = deltas[0];
+        ms[n - 1] = deltas[n - 2];
+        for i in 1..n - 1 {
+            ms[i] = if deltas[i - 1] * deltas[i] <= 0.0 {
+                0.0
+            } else {
+                0.5 * (deltas[i - 1] + deltas[i])
+            };
+        }
+
+        // Fritsch–Carlson monotonicity filter.
+        for i in 0..n - 1 {
+            if deltas[i] == 0.0 {
+                ms[i] = 0.0;
+                ms[i + 1] = 0.0;
+                continue;
+            }
+            let a = ms[i] / deltas[i];
+            let b = ms[i + 1] / deltas[i];
+            let s = a * a + b * b;
+            if s > 9.0 {
+                let tau = 3.0 / s.sqrt();
+                ms[i] = tau * a * deltas[i];
+                ms[i + 1] = tau * b * deltas[i];
+            }
+        }
+
+        Ok(Self { xs, ys, ms })
+    }
+
+    /// Evaluates the interpolant, clamping outside the knot range.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Find the bracketing segment.
+        let i = match self
+            .xs
+            .binary_search_by(|probe| probe.partial_cmp(&x).expect("finite"))
+        {
+            Ok(exact) => return self.ys[exact],
+            Err(upper) => upper - 1,
+        };
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i] + h10 * h * self.ms[i] + h01 * self.ys[i + 1] + h11 * h * self.ms[i + 1]
+    }
+
+    /// The knot x-coordinates.
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The knot y-coordinates.
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_knots() {
+        let knots = [(0.0, 1.0), (1.0, 3.0), (2.5, 3.5), (4.0, 10.0)];
+        let f = MonotoneCubic::new(&knots).unwrap();
+        for (x, y) in knots {
+            assert!((f.eval(x) - y).abs() < 1e-12, "knot ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let f = MonotoneCubic::new(&[(1.0, 2.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(f.eval(0.0), 2.0);
+        assert_eq!(f.eval(99.0), 5.0);
+    }
+
+    #[test]
+    fn preserves_monotonicity_on_increasing_data() {
+        // Data chosen to make naive cubic splines overshoot.
+        let knots = [(0.0, 0.0), (1.0, 0.1), (2.0, 0.2), (3.0, 9.0), (4.0, 10.0)];
+        let f = MonotoneCubic::new(&knots).unwrap();
+        let mut last = f64::NEG_INFINITY;
+        let mut x = 0.0;
+        while x <= 4.0 {
+            let y = f.eval(x);
+            assert!(y >= last - 1e-9, "non-monotone at x={x}");
+            assert!((0.0..=10.0 + 1e-9).contains(&y), "overshoot at x={x}: {y}");
+            last = y;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn preserves_monotonicity_on_decreasing_data() {
+        let knots = [(0.0, 10.0), (1.0, 2.0), (2.0, 1.9), (3.0, 0.0)];
+        let f = MonotoneCubic::new(&knots).unwrap();
+        let mut last = f64::INFINITY;
+        let mut x = 0.0;
+        while x <= 3.0 {
+            let y = f.eval(x);
+            assert!(y <= last + 1e-9, "non-monotone at x={x}");
+            last = y;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn flat_segments_stay_flat() {
+        let f = MonotoneCubic::new(&[(0.0, 1.0), (1.0, 1.0), (2.0, 2.0)]).unwrap();
+        assert!((f.eval(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_data_reproduced_exactly() {
+        let f = MonotoneCubic::new(&[(0.0, 0.0), (1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]).unwrap();
+        for i in 0..=30 {
+            let x = f64::from(i) * 0.1;
+            assert!((f.eval(x) - 2.0 * x).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(
+            MonotoneCubic::new(&[(0.0, 1.0)]).unwrap_err(),
+            InterpError::TooFewKnots
+        );
+        assert_eq!(
+            MonotoneCubic::new(&[(0.0, 1.0), (0.0, 2.0)]).unwrap_err(),
+            InterpError::NonIncreasingX { index: 1 }
+        );
+        assert_eq!(
+            MonotoneCubic::new(&[(0.0, f64::NAN), (1.0, 2.0)]).unwrap_err(),
+            InterpError::NonFinite
+        );
+    }
+
+    #[test]
+    fn exact_knot_lookup_via_binary_search() {
+        let f = MonotoneCubic::new(&[(0.0, 0.0), (1.0, 5.0), (2.0, 6.0)]).unwrap();
+        assert_eq!(f.eval(1.0), 5.0);
+        assert_eq!(f.xs().len(), 3);
+        assert_eq!(f.ys()[1], 5.0);
+    }
+}

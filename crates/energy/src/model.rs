@@ -1,0 +1,264 @@
+//! The calibrated energy model (dynamic ∝ V², anchored leakage).
+//!
+//! The paper publishes just enough of its power model to rebuild it:
+//!
+//! * "Leakage for the whole processor has been set to 10% of the total
+//!   energy consumption at 600 mV" (§5.1),
+//! * "dynamic energy depends quadratically on Vcc" (§5.3),
+//! * a worked example at 450 mV (§5.3): for the same task, the ideal
+//!   (logic-limited) core burns 5 J of which 1.24 J leakage; the
+//!   write-limited baseline 8.50 J / 4.74 J; IRAW 6.40 J / 2.64 J.
+//!
+//! Dynamic energy per instruction scales as `(V/600 mV)²`. Leakage *power*
+//! is `P₀ · g(V)` where `g` is a monotone-cubic curve anchored so the
+//! **baseline** core's leakage fraction reproduces the paper's published
+//! fractions at 600/500/450/400 mV (derivation in DESIGN.md §5); `P₀` is
+//! fixed by the 10%-at-600 mV rule for a reference CPI of 1.4.
+
+use lowvcc_sram::{CycleTimeModel, Millivolts};
+
+use crate::edp::{EdpPoint, EnergyBreakdown, Joules, Watts};
+use crate::interp::MonotoneCubic;
+
+/// Calibrated whole-core energy model.
+///
+/// ```
+/// use lowvcc_energy::EnergyModel;
+/// use lowvcc_sram::Millivolts;
+///
+/// let m = EnergyModel::silverthorne_45nm();
+/// let v500 = Millivolts::new(500)?;
+/// let v700 = Millivolts::new(700)?;
+/// // Quadratic dynamic scaling: (500/700)² ≈ 0.51.
+/// let ratio = m.dynamic_energy_per_instruction(v500).joules()
+///     / m.dynamic_energy_per_instruction(v700).joules();
+/// assert!((ratio - (500.0f64 / 700.0).powi(2)).abs() < 1e-12);
+/// # Ok::<(), lowvcc_sram::VoltageError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    epi_at_600mv: Joules,
+    leak_at_600mv: Watts,
+    leak_shape: MonotoneCubic,
+}
+
+impl EnergyModel {
+    /// Dynamic energy per instruction at 600 mV (Atom-class core, 45 nm).
+    pub const EPI_AT_600MV_PJ: f64 = 110.0;
+
+    /// Reference CPI used to convert the paper's "10% of total energy at
+    /// 600 mV" leakage rule into an absolute leakage power.
+    pub const REFERENCE_CPI: f64 = 1.4;
+
+    /// Leakage-power shape anchors `(mV, g)` with `g(600 mV) = 1`.
+    ///
+    /// Derived in DESIGN.md §5 from the paper's baseline leakage fractions
+    /// λ(600)=0.10, λ(500)≈0.30, λ(450)≈0.56, λ(400)≈0.79 (the last three
+    /// back-solved from the published speedups and relative EDPs).
+    pub const LEAK_SHAPE_ANCHORS: [(f64, f64); 5] = [
+        (400.0, 0.4324),
+        (450.0, 0.7745),
+        (500.0, 0.8991),
+        (600.0, 1.0),
+        (700.0, 1.06),
+    ];
+
+    /// The calibrated model used throughout the reproduction.
+    #[must_use]
+    pub fn silverthorne_45nm() -> Self {
+        Self::calibrated(
+            Joules::new(Self::EPI_AT_600MV_PJ * 1e-12),
+            Self::REFERENCE_CPI,
+            &CycleTimeModel::silverthorne_45nm(),
+        )
+    }
+
+    /// Builds a model calibrated to the paper's 10%-leakage-at-600 mV rule.
+    ///
+    /// `epi_at_600mv` is the dynamic energy per instruction at 600 mV;
+    /// `reference_cpi` the CPI at which the 10% rule is anchored;
+    /// `timing` provides the baseline cycle time at 600 mV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epi_at_600mv` or `reference_cpi` is not positive.
+    #[must_use]
+    pub fn calibrated(epi_at_600mv: Joules, reference_cpi: f64, timing: &CycleTimeModel) -> Self {
+        assert!(epi_at_600mv.joules() > 0.0, "energy per instruction must be positive");
+        assert!(reference_cpi > 0.0, "reference CPI must be positive");
+        let v600 = Millivolts::new(600).expect("600 mV in range");
+        let time_per_instr = reference_cpi * timing.baseline_cycle(v600).seconds();
+        // 10% of total ⇒ leakage = dynamic / 9 per instruction.
+        let leak_at_600mv = Watts::new(epi_at_600mv.joules() / 9.0 / time_per_instr);
+        let leak_shape =
+            MonotoneCubic::new(&Self::LEAK_SHAPE_ANCHORS).expect("anchors are valid knots");
+        Self {
+            epi_at_600mv,
+            leak_at_600mv,
+            leak_shape,
+        }
+    }
+
+    /// Dynamic (switching) energy per committed instruction at `v`.
+    #[must_use]
+    pub fn dynamic_energy_per_instruction(&self, v: Millivolts) -> Joules {
+        let scale = (v.volts() / 0.6).powi(2);
+        self.epi_at_600mv * scale
+    }
+
+    /// Whole-core leakage power at `v`.
+    #[must_use]
+    pub fn leakage_power(&self, v: Millivolts) -> Watts {
+        self.leak_at_600mv * self.leak_shape.eval(f64::from(v.millivolts()))
+    }
+
+    /// Energy breakdown for a run of `instructions` taking `seconds`,
+    /// with `dynamic_overhead` multiplying switching energy (1.0 = none;
+    /// the IRAW hardware adds ≈0.6%, see [`crate::overhead`]).
+    #[must_use]
+    pub fn breakdown(
+        &self,
+        v: Millivolts,
+        instructions: u64,
+        seconds: f64,
+        dynamic_overhead: f64,
+    ) -> EnergyBreakdown {
+        let dynamic =
+            self.dynamic_energy_per_instruction(v) * (instructions as f64) * dynamic_overhead;
+        let leakage = self.leakage_power(v).over_seconds(seconds);
+        EnergyBreakdown::new(dynamic, leakage)
+    }
+
+    /// Convenience: breakdown plus delay as an [`EdpPoint`].
+    #[must_use]
+    pub fn edp_point(
+        &self,
+        v: Millivolts,
+        instructions: u64,
+        seconds: f64,
+        dynamic_overhead: f64,
+    ) -> EdpPoint {
+        EdpPoint::new(seconds, self.breakdown(v, instructions, seconds, dynamic_overhead))
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::silverthorne_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowvcc_sram::voltage::mv;
+    use lowvcc_sram::TimingLimiter;
+
+    fn model() -> EnergyModel {
+        EnergyModel::silverthorne_45nm()
+    }
+
+    /// Baseline leakage fraction at `v` for the reference-CPI workload.
+    fn baseline_leak_fraction(m: &EnergyModel, v: Millivolts) -> f64 {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let instructions = 1_000_000u64;
+        let seconds = instructions as f64
+            * EnergyModel::REFERENCE_CPI
+            * timing.baseline_cycle(v).seconds();
+        m.breakdown(v, instructions, seconds, 1.0).leakage_fraction()
+    }
+
+    #[test]
+    fn leakage_is_ten_percent_at_600mv() {
+        let frac = baseline_leak_fraction(&model(), mv(600));
+        assert!((frac - 0.10).abs() < 1e-6, "got {frac}");
+    }
+
+    #[test]
+    fn leakage_fraction_anchors_from_paper() {
+        // λ(500)≈0.30, λ(450)≈0.56, λ(400)≈0.79 (back-solved from the
+        // paper's published speedups and EDP ratios; DESIGN.md §5).
+        let m = model();
+        let cases = [(500, 0.303), (450, 0.558), (400, 0.787)];
+        for (v, want) in cases {
+            let got = baseline_leak_fraction(&m, mv(v));
+            assert!(
+                (got - want).abs() < 0.02,
+                "λ({v} mV) = {got:.3}, want ≈{want}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_energy_quadratic_in_vcc() {
+        let m = model();
+        let e400 = m.dynamic_energy_per_instruction(mv(400)).joules();
+        let e600 = m.dynamic_energy_per_instruction(mv(600)).joules();
+        let e700 = m.dynamic_energy_per_instruction(mv(700)).joules();
+        assert!((e400 / e600 - (4.0f64 / 6.0).powi(2)).abs() < 1e-12);
+        assert!((e700 / e600 - (7.0f64 / 6.0).powi(2)).abs() < 1e-12);
+        assert!((e600 - EnergyModel::EPI_AT_600MV_PJ * 1e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn leakage_power_monotone_in_vcc() {
+        let m = model();
+        let mut last = 0.0;
+        for v in (400..=700).step_by(25) {
+            let p = m.leakage_power(mv(v)).watts();
+            assert!(p >= last, "leakage power must not decrease with Vcc");
+            assert!(p > 0.0);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn leakage_power_magnitude_plausible() {
+        // ~10 mW class leakage for an Atom-class core at 600 mV.
+        let p = model().leakage_power(mv(600)).milliwatts();
+        assert!((3.0..30.0).contains(&p), "leakage {p} mW");
+    }
+
+    #[test]
+    fn iraw_saves_energy_via_shorter_runtime() {
+        // Same work at 450 mV: baseline at write-limited clock vs IRAW at
+        // its faster clock (with ~9% stall overhead and 0.6% dynamic
+        // overhead). Energy ratio must land near the paper's 6.40/8.50.
+        let m = model();
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let v = mv(450);
+        let instructions = 10_000_000u64;
+        let cpi = EnergyModel::REFERENCE_CPI;
+        let t_base = instructions as f64 * cpi * timing.baseline_cycle(v).seconds();
+        let t_iraw = instructions as f64
+            * (cpi * 1.09)
+            * timing.cycle_time(v, TimingLimiter::Iraw).seconds();
+        let e_base = m.edp_point(v, instructions, t_base, 1.0);
+        let e_iraw = m.edp_point(v, instructions, t_iraw, 1.006);
+        let rel = e_iraw.relative_to(&e_base);
+        assert!(
+            (rel.energy - 0.753).abs() < 0.05,
+            "energy ratio {:.3} (paper 6.40/8.50 = 0.753)",
+            rel.energy
+        );
+        // Our flat 9% stall estimate yields a 1.66× speedup at 450 mV where
+        // the paper's worked example implies 1.79×, so the EDP ratio lands
+        // at ≈0.47 against the published 0.41 — same shape, recorded in
+        // EXPERIMENTS.md.
+        assert!(
+            (rel.edp - 0.41).abs() < 0.08,
+            "EDP ratio {:.3} (paper 0.41)",
+            rel.edp
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "energy per instruction")]
+    fn rejects_nonpositive_epi() {
+        let _ = EnergyModel::calibrated(
+            Joules::new(0.0),
+            1.4,
+            &CycleTimeModel::silverthorne_45nm(),
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Descriptors for every SRAM block of the Silverthorne in-order core.
+//!
+//! Section 3.1 of the paper classifies the core's SRAM structures
+//! (its Figure 3) into five categories, each with its own IRAW-avoidance
+//! strategy. [`ArrayKind`] encodes that classification and
+//! [`silverthorne_blocks`] provides the full inventory with realistic
+//! sizes; the overhead model (in `lowvcc-energy`) uses the bit counts to
+//! reproduce the paper's "<0.1% extra area" result.
+
+use crate::wordline::ArrayGeometry;
+
+/// The paper's five-way classification of in-order-core SRAM blocks,
+/// which determines the IRAW avoidance mechanism each block uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayKind {
+    /// Register file — scoreboard-based issue delay (paper §4.1).
+    RegisterFile,
+    /// Instruction queue — occupancy-threshold issue gate (paper §4.2).
+    InstructionQueue,
+    /// Infrequently written cache-like block (IL0, UL1, ITLB, DTLB,
+    /// WCB/EB, FB) — stall accesses after each fill (paper §4.3).
+    InfrequentlyWrittenCache,
+    /// Frequently written cache-like block (DL0) — Store Table (paper §4.4).
+    FrequentlyWrittenCache,
+    /// Prediction-only block (BP, RSB) — IRAW ignored (paper §4.5).
+    PredictionOnly,
+}
+
+impl ArrayKind {
+    /// Whether IRAW violations in this block can corrupt architectural
+    /// state (prediction-only blocks can only mispredict).
+    #[must_use]
+    pub fn affects_correctness(self) -> bool {
+        !matches!(self, Self::PredictionOnly)
+    }
+}
+
+/// Read/write port counts of an SRAM block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SramPorts {
+    /// Number of read ports.
+    pub read: u32,
+    /// Number of write ports.
+    pub write: u32,
+}
+
+/// A named SRAM block of the core, with geometry and classification.
+///
+/// ```
+/// use lowvcc_sram::array::{silverthorne_blocks, ArrayKind};
+///
+/// let blocks = silverthorne_blocks();
+/// assert_eq!(blocks.len(), 11); // Figure 3 of the paper
+/// let dl0 = blocks.iter().find(|b| b.name() == "DL0").unwrap();
+/// assert_eq!(dl0.kind(), ArrayKind::FrequentlyWrittenCache);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SramArray {
+    name: &'static str,
+    kind: ArrayKind,
+    geometry: ArrayGeometry,
+    ports: SramPorts,
+}
+
+impl SramArray {
+    /// Creates an array descriptor.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        kind: ArrayKind,
+        geometry: ArrayGeometry,
+        ports: SramPorts,
+    ) -> Self {
+        Self {
+            name,
+            kind,
+            geometry,
+            ports,
+        }
+    }
+
+    /// Block name as it appears in the paper's Figure 3.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// IRAW classification (paper §3.1).
+    #[must_use]
+    pub fn kind(&self) -> ArrayKind {
+        self.kind
+    }
+
+    /// Physical geometry.
+    #[must_use]
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    /// Port configuration.
+    #[must_use]
+    pub fn ports(&self) -> SramPorts {
+        self.ports
+    }
+
+    /// Total storage bits (data + tags folded into the entry width).
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.geometry.total_bits()
+    }
+}
+
+/// The full SRAM inventory of the Silverthorne core (paper Figure 3).
+///
+/// Sizes follow the published Silverthorne organization: 32 KB IL0,
+/// 24 KB 6-way DL0, 512 KB 8-way UL1, 64 B lines (entry width = 512 data
+/// bits + ~26 tag/state bits), 16-entry TLBs, a 32-entry instruction
+/// queue, 4K-entry bimodal predictor, 8-entry return stack, and 8-entry
+/// fill and write-combining/eviction buffers.
+#[must_use]
+pub fn silverthorne_blocks() -> Vec<SramArray> {
+    use ArrayKind::{
+        FrequentlyWrittenCache, InfrequentlyWrittenCache, InstructionQueue, PredictionOnly,
+        RegisterFile,
+    };
+    let line_bits = 512 + 26; // 64-byte line + tag/state
+    vec![
+        SramArray::new(
+            "IL0",
+            InfrequentlyWrittenCache,
+            ArrayGeometry::new(512, line_bits, 8),
+            SramPorts { read: 1, write: 1 },
+        ),
+        SramArray::new(
+            "DL0",
+            FrequentlyWrittenCache,
+            ArrayGeometry::new(384, line_bits, 8),
+            SramPorts { read: 1, write: 1 },
+        ),
+        SramArray::new(
+            "UL1",
+            InfrequentlyWrittenCache,
+            ArrayGeometry::new(8192, line_bits, 8),
+            SramPorts { read: 1, write: 1 },
+        ),
+        SramArray::new(
+            "ITLB",
+            InfrequentlyWrittenCache,
+            ArrayGeometry::new(16, 64, 8),
+            SramPorts { read: 1, write: 1 },
+        ),
+        SramArray::new(
+            "DTLB",
+            InfrequentlyWrittenCache,
+            ArrayGeometry::new(16, 64, 8),
+            SramPorts { read: 1, write: 1 },
+        ),
+        SramArray::new(
+            "WCB/EB",
+            InfrequentlyWrittenCache,
+            ArrayGeometry::new(8, line_bits, 8),
+            SramPorts { read: 1, write: 1 },
+        ),
+        SramArray::new(
+            "FB",
+            InfrequentlyWrittenCache,
+            ArrayGeometry::new(8, line_bits, 8),
+            SramPorts { read: 1, write: 1 },
+        ),
+        SramArray::new(
+            "IQ",
+            InstructionQueue,
+            ArrayGeometry::new(32, 80, 8),
+            SramPorts { read: 2, write: 2 },
+        ),
+        SramArray::new(
+            "RF",
+            RegisterFile,
+            ArrayGeometry::new(64, 64, 8),
+            SramPorts { read: 4, write: 2 },
+        ),
+        SramArray::new(
+            "BP",
+            PredictionOnly,
+            ArrayGeometry::new(4096, 2, 2),
+            SramPorts { read: 1, write: 1 },
+        ),
+        SramArray::new(
+            "RSB",
+            PredictionOnly,
+            ArrayGeometry::new(8, 32, 8),
+            SramPorts { read: 1, write: 1 },
+        ),
+    ]
+}
+
+/// Total SRAM bits across the whole core (denominator of the paper's
+/// area-overhead percentages).
+#[must_use]
+pub fn total_core_sram_bits() -> u64 {
+    silverthorne_blocks().iter().map(SramArray::total_bits).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_covers_figure3() {
+        let names: Vec<_> = silverthorne_blocks().iter().map(|b| b.name()).collect();
+        for expected in [
+            "IL0", "DL0", "UL1", "ITLB", "DTLB", "WCB/EB", "FB", "IQ", "RF", "BP", "RSB",
+        ] {
+            assert!(names.contains(&expected), "missing block {expected}");
+        }
+    }
+
+    #[test]
+    fn classification_matches_paper_section_3_1() {
+        let blocks = silverthorne_blocks();
+        let kind_of = |name: &str| {
+            blocks
+                .iter()
+                .find(|b| b.name() == name)
+                .unwrap_or_else(|| panic!("block {name}"))
+                .kind()
+        };
+        assert_eq!(kind_of("RF"), ArrayKind::RegisterFile);
+        assert_eq!(kind_of("IQ"), ArrayKind::InstructionQueue);
+        assert_eq!(kind_of("DL0"), ArrayKind::FrequentlyWrittenCache);
+        for name in ["IL0", "UL1", "ITLB", "DTLB", "WCB/EB", "FB"] {
+            assert_eq!(kind_of(name), ArrayKind::InfrequentlyWrittenCache);
+        }
+        for name in ["BP", "RSB"] {
+            assert_eq!(kind_of(name), ArrayKind::PredictionOnly);
+            assert!(!kind_of(name).affects_correctness());
+        }
+        assert!(kind_of("RF").affects_correctness());
+    }
+
+    #[test]
+    fn cache_capacities_match_silverthorne() {
+        let blocks = silverthorne_blocks();
+        let data_bits = |name: &str| {
+            let b = blocks.iter().find(|b| b.name() == name).unwrap();
+            u64::from(b.geometry().entries()) * 512 // data payload only
+        };
+        assert_eq!(data_bits("IL0"), 32 * 1024 * 8);
+        assert_eq!(data_bits("DL0"), 24 * 1024 * 8);
+        assert_eq!(data_bits("UL1"), 512 * 1024 * 8);
+    }
+
+    #[test]
+    fn caches_dominate_total_bits() {
+        // The UL1 alone is >80% of core SRAM; this ratio is what makes the
+        // IRAW hardware overhead (a few hundred latch bits) ≈0.03%.
+        let total = total_core_sram_bits();
+        let ul1 = silverthorne_blocks()
+            .iter()
+            .find(|b| b.name() == "UL1")
+            .unwrap()
+            .total_bits();
+        assert!(total > 4_000_000, "total core SRAM ~4.7 Mbit, got {total}");
+        assert!(ul1 as f64 / total as f64 > 0.8);
+    }
+}

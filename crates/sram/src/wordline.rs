@@ -1,0 +1,220 @@
+//! SRAM array geometry and wordline activation delay.
+//!
+//! The paper's Figure 1 experiment uses an array of 1,024 entries × 32 bits
+//! with wordlines partitioned into 8-bit groups "to optimize their delay".
+//! Wordline activation behaves like a short logic path (decoder output
+//! buffer + wordline RC): its delay tracks the FO4 chain's slope, scaled by
+//! the array's geometry. For the reference geometry it is κ = 0.585 of a
+//! 12-FO4 phase — that value is what places the write+wordline crossover at
+//! 600 mV while the bitcell-only crossover sits at 525 mV (both from the
+//! paper's Figure 1).
+
+use crate::fo4::{AlphaPowerModel, Picoseconds};
+use crate::voltage::Millivolts;
+
+/// Physical organization of an SRAM array.
+///
+/// ```
+/// use lowvcc_sram::ArrayGeometry;
+///
+/// let g = ArrayGeometry::paper_reference();
+/// assert_eq!(g.entries(), 1024);
+/// assert_eq!(g.total_bits(), 32_768);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayGeometry {
+    entries: u32,
+    bits_per_entry: u32,
+    bits_per_wl_segment: u32,
+}
+
+impl ArrayGeometry {
+    /// Creates an array geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or if the wordline segment is wider
+    /// than an entry.
+    #[must_use]
+    pub fn new(entries: u32, bits_per_entry: u32, bits_per_wl_segment: u32) -> Self {
+        assert!(entries > 0 && bits_per_entry > 0 && bits_per_wl_segment > 0);
+        assert!(
+            bits_per_wl_segment <= bits_per_entry,
+            "wordline segment cannot exceed entry width"
+        );
+        Self {
+            entries,
+            bits_per_entry,
+            bits_per_wl_segment,
+        }
+    }
+
+    /// The paper's Figure 1 reference array: 1,024 × 32 bits, 8-bit
+    /// wordline segments.
+    #[must_use]
+    pub fn paper_reference() -> Self {
+        Self::new(1024, 32, 8)
+    }
+
+    /// Number of entries (rows).
+    #[must_use]
+    pub fn entries(&self) -> u32 {
+        self.entries
+    }
+
+    /// Bits per entry (row width).
+    #[must_use]
+    pub fn bits_per_entry(&self) -> u32 {
+        self.bits_per_entry
+    }
+
+    /// Bits attached to each wordline segment.
+    #[must_use]
+    pub fn bits_per_wl_segment(&self) -> u32 {
+        self.bits_per_wl_segment
+    }
+
+    /// Total storage bits in the array.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.entries) * u64::from(self.bits_per_entry)
+    }
+}
+
+impl Default for ArrayGeometry {
+    fn default() -> Self {
+        Self::paper_reference()
+    }
+}
+
+/// Wordline activation delay model.
+///
+/// ```
+/// use lowvcc_sram::{AlphaPowerModel, ArrayGeometry, Millivolts, WordlineModel};
+///
+/// let wl = WordlineModel::silverthorne_45nm();
+/// let logic = AlphaPowerModel::silverthorne_45nm();
+/// let v = Millivolts::new(500)?;
+/// // Wordline activation is a sub-phase delay at every voltage.
+/// assert!(wl.delay(&logic, v).picos() < logic.phase_delay(v).picos());
+/// # Ok::<(), lowvcc_sram::VoltageError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordlineModel {
+    kappa_reference: f64,
+    geometry: ArrayGeometry,
+}
+
+impl WordlineModel {
+    /// Wordline share of a 12-FO4 phase for the reference geometry.
+    ///
+    /// Derived in DESIGN.md: this is the unique value consistent with the
+    /// paper's two crossover voltages (write+WL at 600 mV, bitcell-only
+    /// write at 525 mV) given the calibrated write curve.
+    pub const KAPPA_REFERENCE: f64 = 0.585;
+
+    /// The calibrated model for the paper's reference array.
+    #[must_use]
+    pub fn silverthorne_45nm() -> Self {
+        Self {
+            kappa_reference: Self::KAPPA_REFERENCE,
+            geometry: ArrayGeometry::paper_reference(),
+        }
+    }
+
+    /// A wordline model for a different array geometry.
+    ///
+    /// Larger decoders (more entries) and wider wordline segments increase
+    /// the activation delay mildly and logarithmically; the reference
+    /// geometry maps exactly to [`Self::KAPPA_REFERENCE`].
+    #[must_use]
+    pub fn for_geometry(geometry: ArrayGeometry) -> Self {
+        Self {
+            kappa_reference: Self::KAPPA_REFERENCE,
+            geometry,
+        }
+    }
+
+    /// The geometry this model describes.
+    #[must_use]
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    /// Effective wordline share of a clock phase for this geometry.
+    #[must_use]
+    pub fn kappa(&self) -> f64 {
+        let reference = ArrayGeometry::paper_reference();
+        let decode = f64::from(self.geometry.entries()).log2()
+            / f64::from(reference.entries()).log2();
+        let segment = f64::from(self.geometry.bits_per_wl_segment())
+            / f64::from(reference.bits_per_wl_segment());
+        // 70% decoder-depth term + 30% segment-RC term; both 1.0 at the
+        // reference geometry.
+        self.kappa_reference * (0.7 * decode + 0.3 * segment.sqrt())
+    }
+
+    /// Wordline activation delay at the given supply voltage.
+    ///
+    /// The slope tracks the FO4 chain (the paper: "its slope resembles that
+    /// of the 12 FO4 chain").
+    #[must_use]
+    pub fn delay(&self, logic: &AlphaPowerModel, v: Millivolts) -> Picoseconds {
+        logic.phase_delay(v) * self.kappa()
+    }
+}
+
+impl Default for WordlineModel {
+    fn default() -> Self {
+        Self::silverthorne_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voltage::mv;
+
+    #[test]
+    fn reference_geometry_matches_paper() {
+        let g = ArrayGeometry::paper_reference();
+        assert_eq!(g.entries(), 1024);
+        assert_eq!(g.bits_per_entry(), 32);
+        assert_eq!(g.bits_per_wl_segment(), 8);
+        assert_eq!(g.total_bits(), 1024 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "wordline segment")]
+    fn segment_wider_than_entry_rejected() {
+        let _ = ArrayGeometry::new(64, 8, 16);
+    }
+
+    #[test]
+    fn reference_kappa_is_calibrated_value() {
+        let wl = WordlineModel::silverthorne_45nm();
+        assert!((wl.kappa() - WordlineModel::KAPPA_REFERENCE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_grows_with_entries_and_segment_width() {
+        let small = WordlineModel::for_geometry(ArrayGeometry::new(256, 32, 8));
+        let reference = WordlineModel::silverthorne_45nm();
+        let big = WordlineModel::for_geometry(ArrayGeometry::new(8192, 32, 8));
+        let wide = WordlineModel::for_geometry(ArrayGeometry::new(1024, 32, 32));
+        assert!(small.kappa() < reference.kappa());
+        assert!(big.kappa() > reference.kappa());
+        assert!(wide.kappa() > reference.kappa());
+    }
+
+    #[test]
+    fn delay_tracks_fo4_slope() {
+        // κ constant ⇒ wordline/phase ratio is voltage-independent, which is
+        // the paper's "slope resembles the 12 FO4 chain".
+        let wl = WordlineModel::silverthorne_45nm();
+        let logic = AlphaPowerModel::silverthorne_45nm();
+        let r700 = wl.delay(&logic, mv(700)) / logic.phase_delay(mv(700));
+        let r400 = wl.delay(&logic, mv(400)) / logic.phase_delay(mv(400));
+        assert!((r700 - r400).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! Data-address stream models.
+//!
+//! Each workload family mixes four canonical access patterns; together they
+//! control DL0/UL1/DTLB miss rates and the frequency of store→load
+//! same-address and same-set collisions — precisely the events the paper's
+//! Store Table mechanism (its Figure 10) must handle.
+
+use crate::dist::Zipf;
+use crate::rng::SimRng;
+
+/// Base of the synthetic heap region.
+pub const HEAP_BASE: u64 = 0x0000_1000_0000;
+/// Base of the synthetic stack region (grows down).
+pub const STACK_BASE: u64 = 0x0000_7FFF_0000;
+
+/// A generator of effective addresses for one memory region class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AddressModel {
+    /// Sequential streaming through a buffer with a fixed stride —
+    /// kernels, media, and FP loops. High spatial locality, periodic
+    /// compulsory misses.
+    Strided {
+        /// Region base address.
+        base: u64,
+        /// Stride in bytes between consecutive accesses.
+        stride: u64,
+        /// Buffer length in bytes (wraps around).
+        length: u64,
+        /// Current offset.
+        cursor: u64,
+    },
+    /// Random walk over cache lines of a working set — pointer-chasing
+    /// integer code. Miss rate set by working-set size vs cache size.
+    PointerChase {
+        /// Region base address.
+        base: u64,
+        /// Working-set size in bytes.
+        working_set: u64,
+    },
+    /// Zipf-popular objects — server workloads; a hot head plus a long
+    /// tail that stresses UL1 and the DTLB.
+    ZipfObjects {
+        /// Region base address.
+        base: u64,
+        /// Object size in bytes.
+        object_size: u64,
+        /// Popularity distribution over objects.
+        zipf: Zipf,
+    },
+    /// Stack-frame slots — very high temporal locality and the main source
+    /// of immediate store→load pairs (spills/fills) that exercise the
+    /// Store Table's full-address match path.
+    StackFrame {
+        /// Current frame base (set by the walker on call/return).
+        frame: u64,
+        /// Number of 8-byte slots per frame.
+        slots: u64,
+    },
+}
+
+impl AddressModel {
+    /// A streaming model over `length` bytes with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` or `length` is zero.
+    #[must_use]
+    pub fn strided(base: u64, stride: u64, length: u64) -> Self {
+        assert!(stride > 0 && length > 0);
+        Self::Strided {
+            base,
+            stride,
+            length,
+            cursor: 0,
+        }
+    }
+
+    /// A pointer-chase model over a working set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `working_set` is smaller than one cache line.
+    #[must_use]
+    pub fn pointer_chase(base: u64, working_set: u64) -> Self {
+        assert!(working_set >= 64);
+        Self::PointerChase { base, working_set }
+    }
+
+    /// A Zipf object-popularity model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objects` is zero or `object_size` is zero.
+    #[must_use]
+    pub fn zipf_objects(base: u64, objects: usize, object_size: u64, s: f64) -> Self {
+        assert!(object_size > 0);
+        Self::ZipfObjects {
+            base,
+            object_size,
+            zipf: Zipf::new(objects, s).expect("objects > 0"),
+        }
+    }
+
+    /// A stack-frame model with `slots` 8-byte slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    #[must_use]
+    pub fn stack_frame(slots: u64) -> Self {
+        assert!(slots > 0);
+        Self::StackFrame {
+            frame: STACK_BASE,
+            slots,
+        }
+    }
+
+    /// Draws the next effective address (8-byte aligned).
+    pub fn next_addr(&mut self, rng: &mut SimRng) -> u64 {
+        match self {
+            Self::Strided {
+                base,
+                stride,
+                length,
+                cursor,
+            } => {
+                let addr = *base + *cursor;
+                *cursor = (*cursor + *stride) % *length;
+                addr & !7
+            }
+            Self::PointerChase { base, working_set } => {
+                let lines = (*working_set / 64).max(1);
+                let line = rng.below(lines);
+                let offset = rng.below(8) * 8;
+                (*base + line * 64 + offset) & !7
+            }
+            Self::ZipfObjects {
+                base,
+                object_size,
+                zipf,
+            } => {
+                let rank = zipf.sample(rng) as u64;
+                let within = rng.below((*object_size / 8).max(1)) * 8;
+                (*base + rank * *object_size + within) & !7
+            }
+            Self::StackFrame { frame, slots } => {
+                let slot = rng.below(*slots);
+                (*frame - slot * 8) & !7
+            }
+        }
+    }
+
+    /// Informs the model of a call (new stack frame) — only meaningful for
+    /// [`AddressModel::StackFrame`].
+    pub fn push_frame(&mut self) {
+        if let Self::StackFrame { frame, slots } = self {
+            *frame = frame.saturating_sub(*slots * 8 + 16);
+        }
+    }
+
+    /// Informs the model of a return (pop stack frame).
+    pub fn pop_frame(&mut self) {
+        if let Self::StackFrame { frame, slots } = self {
+            *frame = (*frame + *slots * 8 + 16).min(STACK_BASE);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_wraps_and_aligns() {
+        let mut m = AddressModel::strided(0x1000, 64, 256);
+        let mut rng = SimRng::seed_from(0);
+        let seq: Vec<u64> = (0..6).map(|_| m.next_addr(&mut rng)).collect();
+        assert_eq!(seq, vec![0x1000, 0x1040, 0x1080, 0x10C0, 0x1000, 0x1040]);
+    }
+
+    #[test]
+    fn pointer_chase_stays_in_working_set() {
+        let ws = 4096;
+        let mut m = AddressModel::pointer_chase(HEAP_BASE, ws);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            let a = m.next_addr(&mut rng);
+            assert!(a >= HEAP_BASE && a < HEAP_BASE + ws);
+            assert_eq!(a % 8, 0);
+        }
+    }
+
+    #[test]
+    fn pointer_chase_covers_many_lines() {
+        let mut m = AddressModel::pointer_chase(0, 64 * 64);
+        let mut rng = SimRng::seed_from(2);
+        let mut lines = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            lines.insert(m.next_addr(&mut rng) >> 6);
+        }
+        assert!(lines.len() > 48, "covered {} of 64 lines", lines.len());
+    }
+
+    #[test]
+    fn zipf_objects_prefer_the_head() {
+        let mut m = AddressModel::zipf_objects(0, 1024, 64, 1.1);
+        let mut rng = SimRng::seed_from(3);
+        let mut head = 0;
+        for _ in 0..10_000 {
+            if m.next_addr(&mut rng) < 64 * 16 {
+                head += 1;
+            }
+        }
+        // Top-16 objects absorb a large share under Zipf(1.1).
+        assert!(head > 3_000, "head hits {head}");
+    }
+
+    #[test]
+    fn stack_frames_nest_and_restore() {
+        let mut m = AddressModel::stack_frame(8);
+        let mut rng = SimRng::seed_from(4);
+        let top = m.next_addr(&mut rng);
+        assert!(top <= STACK_BASE);
+        m.push_frame();
+        let inner = m.next_addr(&mut rng);
+        assert!(inner < top, "inner frame below outer");
+        m.pop_frame();
+        let restored = m.next_addr(&mut rng);
+        assert!(restored > inner);
+        // Pop beyond the base clamps.
+        m.pop_frame();
+        m.pop_frame();
+        assert!(m.next_addr(&mut rng) <= STACK_BASE);
+    }
+
+    #[test]
+    fn stack_reuses_few_addresses() {
+        // The whole point of the stack model: a handful of hot slots, so
+        // store→load same-address pairs are frequent.
+        let mut m = AddressModel::stack_frame(4);
+        let mut rng = SimRng::seed_from(5);
+        let mut unique = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            unique.insert(m.next_addr(&mut rng));
+        }
+        assert!(unique.len() <= 4);
+    }
+}

@@ -1,0 +1,360 @@
+//! IRAW-aware instruction scheduling — the paper's future-work item.
+//!
+//! §5.2 of the paper: "the compiler could help removing some of the
+//! register file induced stalls by scheduling instructions properly.
+//! However, such compiler optimizations are out of the scope of this
+//! paper." This module implements that scheduler as a trace-to-trace
+//! transformation: a windowed list scheduler that widens producer→consumer
+//! register distances past the IRAW stabilization hole, while preserving
+//! program semantics:
+//!
+//! * data dependences (RAW), anti- and output-dependences (WAR, WAW);
+//! * memory order (loads and stores never cross a store; stores never
+//!   cross a load);
+//! * control order (branches, calls and returns are scheduling barriers).
+//!
+//! When no reordering can widen a distance, the original order is kept —
+//! the transformation never hurts correctness, only (sometimes) helps
+//! issue timing.
+
+use std::collections::VecDeque;
+
+use crate::uop::{Trace, Uop, UopKind};
+
+/// Configuration of the IRAW-aware scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleConfig {
+    /// Preferred minimum producer→consumer distance in uops. For a
+    /// 2-wide core with one bypass level and `N` stabilization cycles, a
+    /// consumer at distance `< 2·(1 + bypass + N)` may land in the hole;
+    /// the Silverthorne case (`N = 1`) wants ≥ 6.
+    pub min_distance: usize,
+    /// Lookahead window (candidates considered for reordering).
+    pub window: usize,
+}
+
+impl ScheduleConfig {
+    /// The Silverthorne/IRAW default: distance 6, window 12.
+    #[must_use]
+    pub fn silverthorne_iraw() -> Self {
+        Self {
+            min_distance: 6,
+            window: 12,
+        }
+    }
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        Self::silverthorne_iraw()
+    }
+}
+
+fn is_barrier(kind: UopKind) -> bool {
+    kind.is_control()
+}
+
+/// Whether `later` may be hoisted above `earlier` without changing
+/// semantics.
+fn may_swap(earlier: &Uop, later: &Uop) -> bool {
+    // Control uops never move, and nothing moves across them.
+    if is_barrier(earlier.kind) || is_barrier(later.kind) {
+        return false;
+    }
+    // Memory ordering: conservative — nothing crosses a store, and
+    // stores cross nothing memory-related.
+    let mem_conflict = (earlier.kind == UopKind::Store && later.kind.is_mem())
+        || (later.kind == UopKind::Store && earlier.kind.is_mem());
+    if mem_conflict {
+        return false;
+    }
+    // RAW: later reads what earlier writes.
+    if let Some(d) = earlier.dst {
+        if later.sources().any(|s| s == d) {
+            return false;
+        }
+    }
+    // WAR: later writes what earlier reads.
+    if let Some(d) = later.dst {
+        if earlier.sources().any(|s| s == d) {
+            return false;
+        }
+        // WAW: both write the same register.
+        if earlier.dst == Some(d) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Statistics of one scheduling pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScheduleStats {
+    /// Uops hoisted ahead of program order.
+    pub hoisted: u64,
+    /// Emission slots where no safe hoist existed and the original order
+    /// was kept despite a short distance.
+    pub forced_short: u64,
+}
+
+/// Schedules a trace to widen producer→consumer distances.
+///
+/// Returns the reordered trace and pass statistics. The output always
+/// satisfies [`verify_reorder`] against the input.
+#[must_use]
+pub fn schedule_trace(trace: &Trace, cfg: ScheduleConfig) -> (Trace, ScheduleStats) {
+    let mut out: Vec<Uop> = Vec::with_capacity(trace.len());
+    let mut stats = ScheduleStats::default();
+    // Emission index of the last writer of each register.
+    let mut last_write = vec![usize::MAX; usize::from(crate::uop::NUM_REGS)];
+    let mut pending: VecDeque<Uop> = VecDeque::with_capacity(cfg.window + 1);
+    let mut it = trace.uops.iter().copied();
+
+    // Distance check for a candidate if emitted at slot `out.len()`.
+    let distance_ok =
+        |u: &Uop, out_len: usize, last_write: &[usize], min_distance: usize| -> bool {
+            u.sources().all(|s| {
+                let w = last_write[usize::from(s.index())];
+                w == usize::MAX || out_len - w >= min_distance
+            })
+        };
+
+    loop {
+        // Refill the lookahead window.
+        while pending.len() < cfg.window {
+            match it.next() {
+                Some(u) => pending.push_back(u),
+                None => break,
+            }
+        }
+        let Some(front) = pending.front().copied() else {
+            break;
+        };
+
+        // Pick the first candidate that (a) may be hoisted over everything
+        // before it in the window, and (b) has all source distances clear.
+        let mut chosen = 0usize;
+        if !distance_ok(&front, out.len(), &last_write, cfg.min_distance)
+            && !is_barrier(front.kind)
+        {
+            'candidates: for (i, cand) in pending.iter().enumerate().skip(1) {
+                if !distance_ok(cand, out.len(), &last_write, cfg.min_distance) {
+                    continue;
+                }
+                for earlier in pending.iter().take(i) {
+                    if !may_swap(earlier, cand) {
+                        continue 'candidates;
+                    }
+                }
+                chosen = i;
+                break;
+            }
+            if chosen == 0 {
+                stats.forced_short += 1;
+            } else {
+                stats.hoisted += 1;
+            }
+        }
+
+        let u = pending.remove(chosen).expect("index in range");
+        if let Some(d) = u.dst {
+            last_write[usize::from(d.index())] = out.len();
+        }
+        out.push(u);
+    }
+
+    (Trace::new(format!("{}-sched", trace.name), out), stats)
+}
+
+/// Error from [`verify_reorder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReorderError {
+    /// The output is not a permutation of the input.
+    NotAPermutation,
+    /// A register dependence order was broken (producer after consumer,
+    /// or write-after-read/write inversion), at the given output index.
+    DependenceViolated(usize),
+    /// Memory or control order was broken at the given output index.
+    OrderViolated(usize),
+}
+
+impl std::fmt::Display for ReorderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotAPermutation => write!(f, "scheduled trace is not a permutation"),
+            Self::DependenceViolated(i) => write!(f, "register dependence violated at uop {i}"),
+            Self::OrderViolated(i) => write!(f, "memory/control order violated at uop {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ReorderError {}
+
+/// Verifies that `scheduled` is a semantics-preserving reorder of
+/// `original`: same multiset of uops, and no pair of conflicting uops
+/// (register dependence, memory order, control barrier) swapped.
+///
+/// # Errors
+///
+/// Returns the first violated property.
+pub fn verify_reorder(original: &Trace, scheduled: &Trace) -> Result<(), ReorderError> {
+    if original.len() != scheduled.len() {
+        return Err(ReorderError::NotAPermutation);
+    }
+    // Multiset equality via sorted debug keys (uops are plain data).
+    let key = |u: &Uop| {
+        (
+            u.pc,
+            u.kind as u8 as u64,
+            u.addr.unwrap_or(0),
+            u.dst.map_or(255, |r| r.index()),
+        )
+    };
+    let mut a: Vec<_> = original.uops.iter().map(key).collect();
+    let mut b: Vec<_> = scheduled.uops.iter().map(key).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    if a != b {
+        return Err(ReorderError::NotAPermutation);
+    }
+    // Pairwise conflict order: map each original uop occurrence to its
+    // position in the schedule (greedy matching by key for duplicates).
+    let mut positions: std::collections::HashMap<(u64, u64, u64, u8), VecDeque<usize>> =
+        std::collections::HashMap::new();
+    for (i, u) in scheduled.uops.iter().enumerate() {
+        let k = key(u);
+        positions
+            .entry((k.0, k.1, k.2, k.3 as u8))
+            .or_default()
+            .push_back(i);
+    }
+    let mut mapped = Vec::with_capacity(original.len());
+    for u in &original.uops {
+        let k = key(u);
+        let pos = positions
+            .get_mut(&(k.0, k.1, k.2, k.3 as u8))
+            .and_then(VecDeque::pop_front)
+            .ok_or(ReorderError::NotAPermutation)?;
+        mapped.push(pos);
+    }
+    // For every conflicting original pair (i < j), order must be kept.
+    for i in 0..original.len() {
+        for j in (i + 1)..original.len().min(i + 32) {
+            let (a, b) = (&original.uops[i], &original.uops[j]);
+            if !may_swap(a, b) && mapped[i] > mapped[j] {
+                let err_idx = mapped[j];
+                return if a.kind.is_mem() || b.kind.is_mem() || is_barrier(a.kind) || is_barrier(b.kind)
+                {
+                    Err(ReorderError::OrderViolated(err_idx))
+                } else {
+                    Err(ReorderError::DependenceViolated(err_idx))
+                };
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{TraceSpec, WorkloadFamily};
+    use crate::uop::Reg;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn widens_a_short_dependence_when_independents_exist() {
+        // P writes r16; C consumes it immediately; u1..u4 independent.
+        let uops = vec![
+            Uop::alu(0x00, Some(r(16)), Some(r(0)), None),
+            Uop::alu(0x04, Some(r(17)), Some(r(16)), None), // distance 1!
+            Uop::alu(0x08, Some(r(18)), Some(r(1)), None),
+            Uop::alu(0x0c, Some(r(19)), Some(r(2)), None),
+            Uop::alu(0x10, Some(r(20)), Some(r(3)), None),
+            Uop::alu(0x14, Some(r(21)), Some(r(4)), None),
+        ];
+        let t = Trace::new("short", uops);
+        let (s, stats) = schedule_trace(&t, ScheduleConfig { min_distance: 3, window: 6 });
+        verify_reorder(&t, &s).unwrap();
+        assert!(stats.hoisted > 0, "independents should be hoisted");
+        // The consumer of r16 now sits at distance ≥ 3.
+        let prod = s.uops.iter().position(|u| u.dst == Some(r(16))).unwrap();
+        let cons = s
+            .uops
+            .iter()
+            .position(|u| u.src1 == Some(r(16)))
+            .unwrap();
+        assert!(cons - prod >= 3, "distance {} too short", cons - prod);
+    }
+
+    #[test]
+    fn never_breaks_dependences_or_memory_order() {
+        for family in WorkloadFamily::all() {
+            let t = TraceSpec::new(family, 9, 4_000).build().unwrap();
+            let (s, _) = schedule_trace(&t, ScheduleConfig::silverthorne_iraw());
+            verify_reorder(&t, &s).unwrap_or_else(|e| panic!("{family}: {e}"));
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn control_uops_are_barriers() {
+        let uops = vec![
+            Uop::alu(0x00, Some(r(16)), Some(r(0)), None),
+            Uop::branch(0x04, Some(r(16)), true, 0x00),
+            Uop::alu(0x08, Some(r(17)), Some(r(16)), None),
+        ];
+        let t = Trace::new("ctl", uops.clone());
+        let (s, _) = schedule_trace(&t, ScheduleConfig { min_distance: 8, window: 4 });
+        // Nothing can move: order unchanged.
+        assert_eq!(s.uops, uops);
+    }
+
+    #[test]
+    fn stores_block_load_motion() {
+        let uops = vec![
+            Uop::alu(0x00, Some(r(16)), Some(r(0)), None),
+            Uop::alu(0x04, Some(r(20)), Some(r(16)), None), // short dep
+            Uop::store(0x08, Some(r(1)), None, 0x1000, 8),
+            Uop::load(0x0c, r(21), None, 0x1000, 8),
+        ];
+        let t = Trace::new("mem", uops);
+        let (s, _) = schedule_trace(&t, ScheduleConfig { min_distance: 4, window: 4 });
+        verify_reorder(&t, &s).unwrap();
+        // The load must still follow the store.
+        let st = s.uops.iter().position(|u| u.kind == UopKind::Store).unwrap();
+        let ld = s.uops.iter().position(|u| u.kind == UopKind::Load).unwrap();
+        assert!(st < ld);
+    }
+
+    #[test]
+    fn scheduling_is_deterministic_and_idempotent_on_schedulable_code() {
+        let t = TraceSpec::new(WorkloadFamily::SpecInt, 21, 3_000).build().unwrap();
+        let cfg = ScheduleConfig::silverthorne_iraw();
+        let (a, _) = schedule_trace(&t, cfg);
+        let (b, _) = schedule_trace(&t, cfg);
+        assert_eq!(a.uops, b.uops);
+    }
+
+    #[test]
+    fn verifier_catches_violations() {
+        let uops = vec![
+            Uop::alu(0x00, Some(r(16)), Some(r(0)), None),
+            Uop::alu(0x04, Some(r(17)), Some(r(16)), None),
+        ];
+        let t = Trace::new("orig", uops.clone());
+        let swapped = Trace::new("bad", vec![uops[1], uops[0]]);
+        assert!(matches!(
+            verify_reorder(&t, &swapped),
+            Err(ReorderError::DependenceViolated(_))
+        ));
+        let truncated = Trace::new("short", vec![uops[0]]);
+        assert_eq!(
+            verify_reorder(&t, &truncated),
+            Err(ReorderError::NotAPermutation)
+        );
+    }
+}

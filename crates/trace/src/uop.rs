@@ -1,0 +1,440 @@
+//! Micro-operation (uop) model consumed by the cycle-level simulator.
+//!
+//! The paper's evaluation is trace-driven ("trace-driven Intel production
+//! simulators", §5.1): the simulator replays a correct-path instruction
+//! stream and models timing. A [`Uop`] therefore carries everything timing
+//! needs — operand registers (for the scoreboard), memory address (for the
+//! cache hierarchy), and branch outcome/target (for the predictors) — but
+//! no data values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of architectural registers tracked by the scoreboard
+/// (integer + floating-point/SIMD logical registers of the in-order core).
+pub const NUM_REGS: u8 = 64;
+
+/// A logical register identifier in `0..NUM_REGS`.
+///
+/// ```
+/// use lowvcc_trace::Reg;
+///
+/// let r = Reg::new(5)?;
+/// assert_eq!(r.index(), 5);
+/// assert!(Reg::new(200).is_err());
+/// # Ok::<(), lowvcc_trace::RegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+/// Error constructing a [`Reg`] out of range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegError {
+    /// The rejected register index.
+    pub index: u8,
+}
+
+impl fmt::Display for RegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register index {} out of range 0..{NUM_REGS}", self.index)
+    }
+}
+
+impl std::error::Error for RegError {}
+
+impl Reg {
+    /// Creates a register identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegError`] if `index >= NUM_REGS`.
+    pub fn new(index: u8) -> Result<Self, RegError> {
+        if index < NUM_REGS {
+            Ok(Self(index))
+        } else {
+            Err(RegError { index })
+        }
+    }
+
+    /// The register index.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterator over all architectural registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Operation classes, mirroring the execution units of the in-order core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UopKind {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Unpipelined integer divide.
+    IntDiv,
+    /// Floating-point add/sub (SIMD lane).
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Unpipelined floating-point divide.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Function call (pushes the return address on the RSB).
+    Call,
+    /// Function return (predicted via the RSB).
+    Ret,
+    /// No-operation (also injected to drain the IQ, paper §4.2).
+    Nop,
+}
+
+impl UopKind {
+    /// Whether this uop accesses data memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, Self::Load | Self::Store)
+    }
+
+    /// Whether this uop redirects control flow.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(self, Self::Branch | Self::Call | Self::Ret)
+    }
+
+    /// Whether this uop's execution latency is long and variable enough
+    /// that the scoreboard tracks it via a completion event rather than a
+    /// shift-register pattern (paper §4.1.1 "long-latency instructions").
+    #[must_use]
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, Self::IntDiv | Self::FpDiv)
+    }
+
+    /// All uop kinds (for exhaustive table construction).
+    #[must_use]
+    pub fn all() -> [UopKind; 12] {
+        [
+            Self::IntAlu,
+            Self::IntMul,
+            Self::IntDiv,
+            Self::FpAdd,
+            Self::FpMul,
+            Self::FpDiv,
+            Self::Load,
+            Self::Store,
+            Self::Branch,
+            Self::Call,
+            Self::Ret,
+            Self::Nop,
+        ]
+    }
+}
+
+impl fmt::Display for UopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::IntAlu => "alu",
+            Self::IntMul => "mul",
+            Self::IntDiv => "div",
+            Self::FpAdd => "fadd",
+            Self::FpMul => "fmul",
+            Self::FpDiv => "fdiv",
+            Self::Load => "load",
+            Self::Store => "store",
+            Self::Branch => "br",
+            Self::Call => "call",
+            Self::Ret => "ret",
+            Self::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic micro-operation of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Uop {
+    /// Program counter of this uop.
+    pub pc: u64,
+    /// Operation class.
+    pub kind: UopKind,
+    /// Destination register, if the uop produces a value.
+    pub dst: Option<Reg>,
+    /// First source register.
+    pub src1: Option<Reg>,
+    /// Second source register.
+    pub src2: Option<Reg>,
+    /// Effective data address for loads/stores.
+    pub addr: Option<u64>,
+    /// Access size in bytes for loads/stores (4 or 8).
+    pub size: u8,
+    /// Actual branch outcome for control uops.
+    pub taken: bool,
+    /// Actual next-pc for control uops (branch target, callee entry, or
+    /// return address).
+    pub target: u64,
+}
+
+impl Uop {
+    /// A plain single-cycle ALU uop.
+    #[must_use]
+    pub fn alu(pc: u64, dst: Option<Reg>, src1: Option<Reg>, src2: Option<Reg>) -> Self {
+        Self {
+            pc,
+            kind: UopKind::IntAlu,
+            dst,
+            src1,
+            src2,
+            addr: None,
+            size: 0,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A load uop reading `addr` into `dst`.
+    #[must_use]
+    pub fn load(pc: u64, dst: Reg, base: Option<Reg>, addr: u64, size: u8) -> Self {
+        Self {
+            pc,
+            kind: UopKind::Load,
+            dst: Some(dst),
+            src1: base,
+            src2: None,
+            addr: Some(addr),
+            size,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A store uop writing `src` to `addr`.
+    #[must_use]
+    pub fn store(pc: u64, data: Option<Reg>, base: Option<Reg>, addr: u64, size: u8) -> Self {
+        Self {
+            pc,
+            kind: UopKind::Store,
+            dst: None,
+            src1: data,
+            src2: base,
+            addr: Some(addr),
+            size,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A conditional branch with its resolved outcome and target.
+    #[must_use]
+    pub fn branch(pc: u64, src: Option<Reg>, taken: bool, target: u64) -> Self {
+        Self {
+            pc,
+            kind: UopKind::Branch,
+            dst: None,
+            src1: src,
+            src2: None,
+            addr: None,
+            size: 0,
+            taken,
+            target,
+        }
+    }
+
+    /// A nop (used for IQ drain injection).
+    #[must_use]
+    pub fn nop(pc: u64) -> Self {
+        Self {
+            pc,
+            kind: UopKind::Nop,
+            dst: None,
+            src1: None,
+            src2: None,
+            addr: None,
+            size: 0,
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// Source registers as an iterator (0, 1 or 2 items).
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.src1.into_iter().chain(self.src2)
+    }
+
+    /// Cache-line address (64-byte lines) of the memory access, if any.
+    #[must_use]
+    pub fn line_addr(&self) -> Option<u64> {
+        self.addr.map(|a| a >> 6)
+    }
+
+    /// Validates kind/payload consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found (memory uop
+    /// without an address, control uop without a target, or a non-memory
+    /// uop carrying an address).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.kind.is_mem() && self.addr.is_none() {
+            return Err(format!("{} at {:#x} lacks an address", self.kind, self.pc));
+        }
+        if !self.kind.is_mem() && self.addr.is_some() {
+            return Err(format!("{} at {:#x} carries an address", self.kind, self.pc));
+        }
+        if self.kind.is_control() && self.taken && self.target == 0 {
+            return Err(format!("{} at {:#x} lacks a target", self.kind, self.pc));
+        }
+        if self.kind == UopKind::Load && self.dst.is_none() {
+            return Err(format!("load at {:#x} lacks a destination", self.pc));
+        }
+        Ok(())
+    }
+}
+
+/// A named instruction trace: the unit of workload the simulator replays.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable name (family + seed).
+    pub name: String,
+    /// The dynamic uop stream.
+    pub uops: Vec<Uop>,
+}
+
+impl Trace {
+    /// Creates a trace from a uop stream.
+    #[must_use]
+    pub fn new(name: impl Into<String>, uops: Vec<Uop>) -> Self {
+        Self {
+            name: name.into(),
+            uops,
+        }
+    }
+
+    /// Number of dynamic uops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Validates every uop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid uop's description and index.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, u) in self.uops.iter().enumerate() {
+            u.validate().map_err(|e| format!("uop {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn reg_bounds() {
+        assert!(Reg::new(0).is_ok());
+        assert!(Reg::new(NUM_REGS - 1).is_ok());
+        assert!(Reg::new(NUM_REGS).is_err());
+        assert_eq!(Reg::all().count(), usize::from(NUM_REGS));
+        assert_eq!(r(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(UopKind::Load.is_mem());
+        assert!(UopKind::Store.is_mem());
+        assert!(!UopKind::IntAlu.is_mem());
+        assert!(UopKind::Branch.is_control());
+        assert!(UopKind::Call.is_control());
+        assert!(UopKind::Ret.is_control());
+        assert!(UopKind::IntDiv.is_long_latency());
+        assert!(UopKind::FpDiv.is_long_latency());
+        assert!(!UopKind::Load.is_long_latency());
+        assert_eq!(UopKind::all().len(), 12);
+    }
+
+    #[test]
+    fn constructors_produce_valid_uops() {
+        let uops = [
+            Uop::alu(0x1000, Some(r(1)), Some(r(2)), Some(r(3))),
+            Uop::load(0x1004, r(4), Some(r(1)), 0xbeef00, 8),
+            Uop::store(0x1008, Some(r(4)), Some(r(1)), 0xbeef08, 4),
+            Uop::branch(0x100c, Some(r(4)), true, 0x1000),
+            Uop::nop(0x1010),
+        ];
+        for u in &uops {
+            u.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut bad_load = Uop::load(0, r(1), None, 0x40, 8);
+        bad_load.addr = None;
+        assert!(bad_load.validate().is_err());
+
+        let mut alu_with_addr = Uop::alu(0, Some(r(1)), None, None);
+        alu_with_addr.addr = Some(0x40);
+        assert!(alu_with_addr.validate().is_err());
+
+        let taken_no_target = Uop::branch(4, None, true, 0);
+        assert!(taken_no_target.validate().is_err());
+
+        let mut load_no_dst = Uop::load(0, r(1), None, 0x40, 8);
+        load_no_dst.dst = None;
+        assert!(load_no_dst.validate().is_err());
+    }
+
+    #[test]
+    fn sources_iterates_present_operands() {
+        let u = Uop::alu(0, Some(r(1)), Some(r(2)), None);
+        let srcs: Vec<_> = u.sources().collect();
+        assert_eq!(srcs, vec![r(2)]);
+        let u2 = Uop::alu(0, Some(r(1)), Some(r(2)), Some(r(3)));
+        assert_eq!(u2.sources().count(), 2);
+    }
+
+    #[test]
+    fn line_addr_uses_64_byte_lines() {
+        let u = Uop::load(0, r(1), None, 0x1003f, 4);
+        assert_eq!(u.line_addr(), Some(0x400));
+        assert_eq!(Uop::nop(0).line_addr(), None);
+    }
+
+    #[test]
+    fn trace_validation_reports_index() {
+        let mut bad = Uop::load(4, r(1), None, 0x40, 8);
+        bad.addr = None;
+        let t = Trace::new("t", vec![Uop::nop(0), bad]);
+        let err = t.validate().unwrap_err();
+        assert!(err.starts_with("uop 1:"), "{err}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

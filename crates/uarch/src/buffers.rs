@@ -1,0 +1,342 @@
+//! Fill buffers, write-combining/eviction buffers, and post-fill stall
+//! guards.
+//!
+//! The FB holds lines in flight from UL1/memory into the L0 caches; the
+//! WCB/EB holds lines traveling the other way. Both are "infrequently
+//! written cache-like blocks" (paper §4.3): after any fill completes, the
+//! block's port is simply kept busy for `N` extra cycles so nothing can
+//! read a stabilizing entry — that is [`StallGuard`].
+
+/// Error returned when allocating into a full buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferFull;
+
+impl std::fmt::Display for BufferFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("buffer is full")
+    }
+}
+
+impl std::error::Error for BufferFull {}
+
+/// A buffer of in-flight lines, each completing at a known cycle.
+///
+/// Used for both fill buffers (miss → line arrives) and WCB/EB
+/// (eviction/write-combine → line drains).
+///
+/// ```
+/// use lowvcc_uarch::buffers::TimedBuffer;
+///
+/// let mut fb = TimedBuffer::new(8);
+/// fb.allocate(0x40, 100).unwrap();
+/// assert!(fb.contains(0x40));
+/// assert_eq!(fb.take_ready(99), vec![]);
+/// assert_eq!(fb.take_ready(100), vec![0x40]);
+/// assert!(!fb.contains(0x40));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedBuffer {
+    slots: Vec<Option<(u64, u64)>>, // (line, ready_at)
+    allocations: u64,
+    full_rejections: u64,
+}
+
+impl TimedBuffer {
+    /// Creates a buffer with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "buffer needs at least one entry");
+        Self {
+            slots: vec![None; entries],
+            allocations: 0,
+            full_rejections: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied entries.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Whether the buffer is full.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.occupancy() == self.slots.len()
+    }
+
+    /// Whether `line` is already in flight (secondary-miss merge).
+    #[must_use]
+    pub fn contains(&self, line: u64) -> bool {
+        self.slots.iter().flatten().any(|&(l, _)| l == line)
+    }
+
+    /// Cycle at which `line` completes, if in flight.
+    #[must_use]
+    pub fn ready_at(&self, line: u64) -> Option<u64> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, t)| t)
+    }
+
+    /// Allocates `line`, completing at `ready_at`. Duplicate lines merge
+    /// (keeping the earlier completion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufferFull`] when no slot is free.
+    pub fn allocate(&mut self, line: u64, ready_at: u64) -> Result<(), BufferFull> {
+        if let Some(slot) = self
+            .slots
+            .iter_mut()
+            .flatten()
+            .find(|(l, _)| *l == line)
+        {
+            slot.1 = slot.1.min(ready_at);
+            return Ok(());
+        }
+        match self.slots.iter_mut().find(|s| s.is_none()) {
+            Some(slot) => {
+                *slot = Some((line, ready_at));
+                self.allocations += 1;
+                Ok(())
+            }
+            None => {
+                self.full_rejections += 1;
+                Err(BufferFull)
+            }
+        }
+    }
+
+    /// Removes and returns every line whose completion cycle has arrived.
+    pub fn take_ready(&mut self, now: u64) -> Vec<u64> {
+        let mut ready = Vec::new();
+        for slot in &mut self.slots {
+            if let Some((line, at)) = *slot {
+                if at <= now {
+                    ready.push(line);
+                    *slot = None;
+                }
+            }
+        }
+        ready
+    }
+
+    /// Total successful allocations.
+    #[must_use]
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Allocation attempts rejected because the buffer was full
+    /// (each one is a pipeline stall source).
+    #[must_use]
+    pub fn full_rejections(&self) -> u64 {
+        self.full_rejections
+    }
+
+    /// Drops everything (reset).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+}
+
+/// Post-fill stall guard: the paper's IRAW mechanism for infrequently
+/// written blocks — "keeping the ports busy to prevent the port arbiter
+/// from issuing new accesses" for `N` cycles after a fill.
+///
+/// ```
+/// use lowvcc_uarch::buffers::StallGuard;
+///
+/// let mut g = StallGuard::new(1);
+/// g.on_fill(100);               // fill completes at cycle 100
+/// assert!(g.is_stalled(100));   // N = 1: cycle 100 blocked…
+/// assert!(g.is_stalled(101));
+/// assert!(!g.is_stalled(102));  // …free again
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallGuard {
+    n: u32,
+    /// Stabilization window `[start, end]` of the most recent fill, if any.
+    window: Option<(u64, u64)>,
+    stall_events: u64,
+}
+
+impl StallGuard {
+    /// Creates a guard enforcing `n` stabilization cycles (0 = disabled).
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        Self {
+            n,
+            window: None,
+            stall_events: 0,
+        }
+    }
+
+    /// Reconfigures `N` at a Vcc change (the paper's small per-block
+    /// counter whose initial value the Vcc controller updates).
+    pub fn set_n(&mut self, n: u32) {
+        self.n = n;
+    }
+
+    /// Current `N`.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Notifies the guard that a fill completed at `cycle`; the port is
+    /// busy for the window `[cycle, cycle + N]` while the entry
+    /// stabilizes. Earlier fills with shorter windows are superseded.
+    pub fn on_fill(&mut self, cycle: u64) {
+        if self.n == 0 {
+            return;
+        }
+        let end = cycle + u64::from(self.n);
+        match self.window {
+            Some((_, old_end)) if old_end >= end => {}
+            _ => self.window = Some((cycle, end)),
+        }
+        self.stall_events += 1;
+    }
+
+    /// Whether the port is blocked at `cycle` (inside a stabilization
+    /// window). Cycles *before* the fill completes are not blocked by the
+    /// guard — the in-flight miss itself covers those.
+    #[must_use]
+    pub fn is_stalled(&self, cycle: u64) -> bool {
+        match self.window {
+            Some((start, end)) => self.n > 0 && cycle >= start && cycle <= end,
+            None => false,
+        }
+    }
+
+    /// First cycle at which the current window (if any) has passed.
+    #[must_use]
+    pub fn free_at(&self) -> u64 {
+        match self.window {
+            Some((_, end)) => end + 1,
+            None => 0,
+        }
+    }
+
+    /// Number of fills that armed the guard.
+    #[must_use]
+    pub fn stall_events(&self) -> u64 {
+        self.stall_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_complete_roundtrip() {
+        let mut fb = TimedBuffer::new(2);
+        fb.allocate(1, 10).unwrap();
+        fb.allocate(2, 5).unwrap();
+        assert_eq!(fb.occupancy(), 2);
+        assert!(fb.is_full());
+        let mut ready = fb.take_ready(10);
+        ready.sort_unstable();
+        assert_eq!(ready, vec![1, 2]);
+        assert_eq!(fb.occupancy(), 0);
+    }
+
+    #[test]
+    fn full_buffer_rejects_and_counts() {
+        let mut fb = TimedBuffer::new(1);
+        fb.allocate(1, 10).unwrap();
+        assert_eq!(fb.allocate(2, 10), Err(BufferFull));
+        assert_eq!(fb.full_rejections(), 1);
+        assert_eq!(fb.allocations(), 1);
+    }
+
+    #[test]
+    fn duplicate_lines_merge_keeping_earlier_completion() {
+        let mut fb = TimedBuffer::new(2);
+        fb.allocate(7, 20).unwrap();
+        fb.allocate(7, 15).unwrap(); // merge, earlier wins
+        assert_eq!(fb.occupancy(), 1);
+        assert_eq!(fb.ready_at(7), Some(15));
+        fb.allocate(7, 30).unwrap(); // merge, later ignored
+        assert_eq!(fb.ready_at(7), Some(15));
+    }
+
+    #[test]
+    fn partial_readiness() {
+        let mut fb = TimedBuffer::new(4);
+        fb.allocate(1, 10).unwrap();
+        fb.allocate(2, 20).unwrap();
+        assert_eq!(fb.take_ready(15), vec![1]);
+        assert!(fb.contains(2));
+        assert_eq!(fb.take_ready(25), vec![2]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut fb = TimedBuffer::new(2);
+        fb.allocate(1, 10).unwrap();
+        fb.clear();
+        assert_eq!(fb.occupancy(), 0);
+        assert!(!fb.contains(1));
+    }
+
+    #[test]
+    fn stall_guard_blocks_n_cycles_after_fill() {
+        let mut g = StallGuard::new(2);
+        assert!(!g.is_stalled(50));
+        g.on_fill(100);
+        assert!(g.is_stalled(100));
+        assert!(g.is_stalled(102));
+        assert!(!g.is_stalled(103));
+        assert_eq!(g.free_at(), 103);
+        assert_eq!(g.stall_events(), 1);
+    }
+
+    #[test]
+    fn stall_guard_disabled_at_n_zero() {
+        let mut g = StallGuard::new(0);
+        g.on_fill(100);
+        assert!(!g.is_stalled(100));
+        assert_eq!(g.stall_events(), 0);
+    }
+
+    #[test]
+    fn stall_guard_extends_not_shrinks() {
+        let mut g = StallGuard::new(3);
+        g.on_fill(100);
+        g.on_fill(98); // earlier fill must not shorten the stall
+        assert!(g.is_stalled(103));
+    }
+
+    #[test]
+    fn stall_guard_reconfigures() {
+        let mut g = StallGuard::new(1);
+        g.set_n(2);
+        assert_eq!(g.n(), 2);
+        g.on_fill(10);
+        assert!(g.is_stalled(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = TimedBuffer::new(0);
+    }
+}

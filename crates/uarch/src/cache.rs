@@ -1,0 +1,481 @@
+//! Set-associative cache model (IL0, DL0, UL1).
+//!
+//! Timing-oriented tag store: hits/misses, LRU state, fills and evictions,
+//! plus per-line *disable* support used by the Faulty Bits baseline
+//! (disabled lines shrink effective capacity, raising the miss rate — the
+//! IPC cost the paper's Table 1 charges that technique with).
+//!
+//! The cache operates on 64-byte-line addresses supplied by the caller
+//! (`addr >> 6`); whether a fill stalls subsequent accesses for IRAW
+//! stabilization is the pipeline's business (see `lowvcc-core`).
+
+use lowvcc_trace::SimRng;
+
+use crate::replacement::{Policy, PolicyState, WayView};
+
+/// Geometry and policy of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Replacement policy.
+    pub policy: Policy,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when any dimension is zero, the capacity is
+    /// not an exact multiple of `ways × line_bytes`, or the set count is
+    /// not a power of two.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size_bytes == 0 || self.ways == 0 || self.line_bytes == 0 {
+            return Err("cache dimensions must be positive".into());
+        }
+        if self.size_bytes % (self.ways * self.line_bytes) != 0 {
+            return Err("capacity must divide into ways × line size".into());
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(format!("set count {} must be a power of two", self.sets()));
+        }
+        Ok(())
+    }
+
+    /// Silverthorne IL0: 32 KB, 8-way, 64 B lines.
+    #[must_use]
+    pub fn silverthorne_il0() -> Self {
+        Self {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            policy: Policy::Lru,
+        }
+    }
+
+    /// Silverthorne DL0: 24 KB, 6-way, 64 B lines.
+    #[must_use]
+    pub fn silverthorne_dl0() -> Self {
+        Self {
+            size_bytes: 24 * 1024,
+            ways: 6,
+            line_bytes: 64,
+            policy: Policy::Lru,
+        }
+    }
+
+    /// Silverthorne UL1: 512 KB, 8-way, 64 B lines.
+    #[must_use]
+    pub fn silverthorne_ul1() -> Self {
+        Self {
+            size_bytes: 512 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            policy: Policy::Lru,
+        }
+    }
+}
+
+/// Hit/miss/fill counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Demand accesses.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines filled.
+    pub fills: u64,
+    /// Valid lines evicted by fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio (0 when no accesses yet).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    disabled: bool,
+    last_use: u64,
+}
+
+/// The set-associative cache.
+///
+/// ```
+/// use lowvcc_uarch::cache::{CacheConfig, SetAssocCache};
+///
+/// let mut dl0 = SetAssocCache::new(CacheConfig::silverthorne_dl0())?;
+/// let line = 0x1234;
+/// assert!(!dl0.access(line));      // cold miss
+/// dl0.fill(line);
+/// assert!(dl0.access(line));       // now hits
+/// assert_eq!(dl0.stats().misses, 1);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets × ways, row-major
+    policy: PolicyState,
+    stats: CacheStats,
+    clock: u64,
+    disabled_lines: usize,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheConfig::validate`] failures.
+    pub fn new(cfg: CacheConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let sets = cfg.sets();
+        Ok(Self {
+            cfg,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    disabled: false,
+                    last_use: 0,
+                };
+                sets * cfg.ways
+            ],
+            policy: PolicyState::new(cfg.policy, sets, 0xCAC4E),
+            stats: CacheStats::default(),
+            clock: 0,
+            disabled_lines: 0,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Set index of a line address.
+    #[must_use]
+    pub fn set_index(&self, line_addr: u64) -> u64 {
+        line_addr % self.cfg.sets() as u64
+    }
+
+    fn tag_of(&self, line_addr: u64) -> u64 {
+        line_addr / self.cfg.sets() as u64
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.cfg.ways;
+        base..base + self.cfg.ways
+    }
+
+    /// Demand access; returns whether it hit, updating recency and stats.
+    pub fn access(&mut self, line_addr: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let set = self.set_index(line_addr) as usize;
+        let tag = self.tag_of(line_addr);
+        let clock = self.clock;
+        let range = self.set_range(set);
+        for line in &mut self.lines[range] {
+            if line.valid && !line.disabled && line.tag == tag {
+                line.last_use = clock;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Non-destructive lookup (no stats, no recency update).
+    #[must_use]
+    pub fn probe(&self, line_addr: u64) -> bool {
+        let set = self.set_index(line_addr) as usize;
+        let tag = self.tag_of(line_addr);
+        self.lines[self.set_range(set)]
+            .iter()
+            .any(|l| l.valid && !l.disabled && l.tag == tag)
+    }
+
+    /// Fills a line, returning the evicted line address if a valid line
+    /// was displaced. Returns `Err(())` when every way of the set is
+    /// disabled (Faulty Bits can render sets uncacheable).
+    #[allow(clippy::result_unit_err)]
+    pub fn fill(&mut self, line_addr: u64) -> Result<Option<u64>, ()> {
+        self.clock += 1;
+        let set = self.set_index(line_addr) as usize;
+        let tag = self.tag_of(line_addr);
+        let views: Vec<WayView> = self.lines[self.set_range(set)]
+            .iter()
+            .map(|l| WayView {
+                valid: l.valid,
+                disabled: l.disabled,
+                last_use: l.last_use,
+            })
+            .collect();
+        let Some(way) = self.policy.select_victim(set, &views) else {
+            return Err(());
+        };
+        let sets = self.cfg.sets() as u64;
+        let idx = self.set_range(set).start + way;
+        let line = &mut self.lines[idx];
+        let evicted = (line.valid).then(|| line.tag * sets + set as u64);
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        line.tag = tag;
+        line.valid = true;
+        line.last_use = self.clock;
+        self.stats.fills += 1;
+        Ok(evicted)
+    }
+
+    /// Invalidates a line if present.
+    pub fn invalidate(&mut self, line_addr: u64) {
+        let set = self.set_index(line_addr) as usize;
+        let tag = self.tag_of(line_addr);
+        let range = self.set_range(set);
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+            }
+        }
+    }
+
+    /// Disables `count` randomly chosen lines (Faulty Bits fault map).
+    /// Disabled lines lose their contents and are never refilled.
+    pub fn disable_random_lines(&mut self, count: usize, rng: &mut SimRng) {
+        let total = self.lines.len();
+        let mut disabled = 0;
+        let mut attempts = 0;
+        while disabled < count && attempts < total * 20 {
+            attempts += 1;
+            let idx = rng.below(total as u64) as usize;
+            if !self.lines[idx].disabled {
+                self.lines[idx].disabled = true;
+                self.lines[idx].valid = false;
+                disabled += 1;
+            }
+        }
+        self.disabled_lines += disabled;
+    }
+
+    /// Number of disabled lines.
+    #[must_use]
+    pub fn disabled_lines(&self) -> usize {
+        self.disabled_lines
+    }
+
+    /// Usable capacity in bytes after disabling.
+    #[must_use]
+    pub fn effective_capacity(&self) -> usize {
+        self.cfg.size_bytes - self.disabled_lines * self.cfg.line_bytes
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            policy: Policy::Lru,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(5));
+        c.fill(5).unwrap();
+        assert!(c.access(5));
+        let s = c.stats();
+        assert_eq!((s.accesses, s.hits, s.misses, s.fills), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn conflicting_tags_evict_lru() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0).unwrap();
+        c.fill(4).unwrap();
+        assert!(c.access(0));
+        assert!(c.access(4));
+        // Touch 0 so 4 is LRU, then fill 8: 4 must be evicted.
+        assert!(c.access(0));
+        let evicted = c.fill(8).unwrap();
+        assert_eq!(evicted, Some(4));
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats_or_lru() {
+        let mut c = tiny();
+        c.fill(3).unwrap();
+        let before = c.stats();
+        assert!(c.probe(3));
+        assert!(!c.probe(7));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.fill(9).unwrap();
+        c.invalidate(9);
+        assert!(!c.probe(9));
+    }
+
+    #[test]
+    fn silverthorne_geometries_validate() {
+        for cfg in [
+            CacheConfig::silverthorne_il0(),
+            CacheConfig::silverthorne_dl0(),
+            CacheConfig::silverthorne_ul1(),
+        ] {
+            cfg.validate().unwrap();
+            SetAssocCache::new(cfg).unwrap();
+        }
+        assert_eq!(CacheConfig::silverthorne_dl0().sets(), 64);
+        assert_eq!(CacheConfig::silverthorne_ul1().sets(), 1024);
+    }
+
+    #[test]
+    fn bad_geometry_rejected() {
+        assert!(CacheConfig {
+            size_bytes: 0,
+            ways: 1,
+            line_bytes: 64,
+            policy: Policy::Lru
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 3 * 64 * 3,
+            ways: 3,
+            line_bytes: 64,
+            policy: Policy::Lru
+        }
+        .validate()
+        .is_err()); // 3 sets: not a power of two
+    }
+
+    #[test]
+    fn miss_ratio_reflects_working_set() {
+        let mut c = tiny(); // 512 B = 8 lines
+        // Working set of 4 lines: after warmup, all hits.
+        for line in 0..4u64 {
+            c.access(line);
+            c.fill(line).unwrap();
+        }
+        c.reset_stats();
+        for _ in 0..100 {
+            for line in 0..4u64 {
+                assert!(c.access(line));
+            }
+        }
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        // Working set of 16 lines in 8-line cache: mostly misses.
+        c.reset_stats();
+        for round in 0..50 {
+            for line in 0..16u64 {
+                if !c.access(line) {
+                    c.fill(line).unwrap();
+                }
+                let _ = round;
+            }
+        }
+        assert!(c.stats().miss_ratio() > 0.5);
+    }
+
+    #[test]
+    fn disabled_lines_shrink_capacity_and_raise_misses() {
+        let mut healthy = tiny();
+        let mut faulty = tiny();
+        let mut rng = SimRng::seed_from(1);
+        faulty.disable_random_lines(4, &mut rng); // half the cache
+        assert_eq!(faulty.disabled_lines(), 4);
+        assert_eq!(faulty.effective_capacity(), 256);
+
+        let run = |c: &mut SetAssocCache| {
+            c.reset_stats();
+            for _ in 0..200 {
+                for line in 0..6u64 {
+                    if !c.access(line) {
+                        let _ = c.fill(line);
+                    }
+                }
+            }
+            c.stats().miss_ratio()
+        };
+        let healthy_miss = run(&mut healthy);
+        let faulty_miss = run(&mut faulty);
+        assert!(
+            faulty_miss > healthy_miss,
+            "faulty {faulty_miss:.3} vs healthy {healthy_miss:.3}"
+        );
+    }
+
+    #[test]
+    fn fully_disabled_set_rejects_fills() {
+        let mut c = tiny();
+        let mut rng = SimRng::seed_from(2);
+        c.disable_random_lines(8, &mut rng); // everything
+        assert_eq!(c.fill(0), Err(()));
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn eviction_reports_correct_line_address() {
+        let mut c = tiny();
+        c.fill(13).unwrap(); // set 1, tag 3
+        // Fill two more lines into set 1 to force 13 out (2 ways).
+        c.fill(1).unwrap();
+        c.access(1);
+        let evicted = c.fill(21).unwrap(); // set 1, tag 5 — evicts LRU (13)
+        assert_eq!(evicted, Some(13));
+    }
+}

@@ -1,0 +1,52 @@
+//! Microarchitecture building blocks for the low-Vcc in-order core
+//! reproduction (HPCA 2010): caches, TLBs, branch predictors, the
+//! shift-register scoreboard, the instruction queue, the Store Table, and
+//! fill/eviction buffers.
+//!
+//! Three modules implement the paper's IRAW-avoidance hardware verbatim:
+//!
+//! * [`scoreboard`] — the extended ready shift registers (Figures 6 & 8);
+//! * [`iq`] — the occupancy-gated instruction queue (Figure 9);
+//! * [`stable`] — the DL0 Store Table (Figure 10);
+//!
+//! while [`buffers::StallGuard`] provides the post-fill port stalls of the
+//! infrequently written blocks (§4.3) and
+//! [`bpred::CorruptionTracker`]/[`rsb`] measure the prediction-only
+//! corruption windows (§4.5). The pipeline that composes them lives in
+//! `lowvcc-core`.
+//!
+//! ```
+//! use lowvcc_trace::Reg;
+//! use lowvcc_uarch::scoreboard::{IrawWindow, Scoreboard};
+//!
+//! // The paper's Figure 8 bit pattern, executable:
+//! let mut sb = Scoreboard::new(7);
+//! sb.set_producer(Reg::new(0).unwrap(), 3,
+//!                 Some(IrawWindow { bypass_levels: 1, bubble: 1 }));
+//! assert_eq!(sb.pattern(Reg::new(0).unwrap()), 0b0001011);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpred;
+pub mod buffers;
+pub mod cache;
+pub mod iq;
+pub mod ports;
+pub mod replacement;
+pub mod rsb;
+pub mod scoreboard;
+pub mod stable;
+pub mod tlb;
+
+pub use bpred::{Bimodal, BranchPredictor, Btb, CorruptionTracker, Gshare};
+pub use buffers::{StallGuard, TimedBuffer};
+pub use cache::{CacheConfig, CacheStats, SetAssocCache};
+pub use iq::InstQueue;
+pub use ports::{Port, PortSet};
+pub use replacement::Policy;
+pub use rsb::ReturnStack;
+pub use scoreboard::{IrawWindow, Scoreboard};
+pub use stable::{StableMatch, StoreTable, TrackedStore};
+pub use tlb::Tlb;

@@ -1,0 +1,383 @@
+//! Shift-register scoreboard (paper Figures 6 and 8).
+//!
+//! Each logical register owns a `B`-bit shift register. The most
+//! significant bit says "a consumer may issue now"; every cycle the
+//! register shifts left one position, keeping its least significant bit.
+//! A producer of latency `L` writes `L` zeros followed by ones — delayed
+//! wake-up with zero CAM logic, which is why in-order cores use it.
+//!
+//! The IRAW extension (paper §4.1.2) appends, after the latency zeros:
+//! one `1` per **bypass level** (consumers there get the value from the
+//! bypass network), then `N` zeros (the **bubble**: a consumer issuing in
+//! those slots would read the register file exactly while the interrupted
+//! write is still stabilizing), then ones. For a 3-cycle producer, one
+//! bypass level and `N = 1`, the register is initialized to `0001011` —
+//! the exact Figure 8 bit pattern.
+
+use lowvcc_trace::Reg;
+
+/// Maximum supported shift-register width in bits.
+pub const MAX_WIDTH: u32 = 32;
+
+/// IRAW window parameters appended to producer patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IrawWindow {
+    /// Number of bypass levels in the pipeline (cycles during which the
+    /// value is available from the bypass network right after execution).
+    pub bypass_levels: u32,
+    /// Stabilization cycles `N` during which the register file entry must
+    /// not be read.
+    pub bubble: u32,
+}
+
+/// One register's shift register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShiftReg {
+    bits: u32,
+}
+
+/// The scoreboard: one shift register per logical register.
+///
+/// ```
+/// use lowvcc_trace::Reg;
+/// use lowvcc_uarch::scoreboard::{IrawWindow, Scoreboard};
+///
+/// let mut sb = Scoreboard::new(7);
+/// let r = Reg::new(3).unwrap();
+/// // 3-cycle producer with the paper's IRAW window (1 bypass, N = 1):
+/// sb.set_producer(r, 3, Some(IrawWindow { bypass_levels: 1, bubble: 1 }));
+/// assert_eq!(sb.pattern(r), 0b0001011); // Figure 8
+/// // Cycle i+3: consumer may issue (gets the value via bypass)…
+/// for _ in 0..3 { sb.tick(); }
+/// assert!(sb.is_ready(r));
+/// // …cycle i+4: blocked (would read a stabilizing RF entry)…
+/// sb.tick();
+/// assert!(!sb.is_ready(r));
+/// // …cycle i+5 onwards: ready for good.
+/// sb.tick();
+/// assert!(sb.is_ready(r));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scoreboard {
+    regs: Vec<ShiftReg>,
+    width: u32,
+    mask: u32,
+}
+
+impl Scoreboard {
+    /// Creates a scoreboard of `width`-bit shift registers, all ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!(width > 0 && width <= MAX_WIDTH, "width must be 1..={MAX_WIDTH}");
+        let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        Self {
+            regs: vec![ShiftReg { bits: mask }; usize::from(lowvcc_trace::NUM_REGS)],
+            width,
+            mask,
+        }
+    }
+
+    /// The shift-register width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Whether a consumer of `reg` may issue this cycle (the MSB).
+    #[must_use]
+    pub fn is_ready(&self, reg: Reg) -> bool {
+        self.regs[usize::from(reg.index())].bits >> (self.width - 1) & 1 == 1
+    }
+
+    /// Raw pattern of `reg`'s shift register (LSB-aligned; for tests and
+    /// debug displays).
+    #[must_use]
+    pub fn pattern(&self, reg: Reg) -> u32 {
+        self.regs[usize::from(reg.index())].bits
+    }
+
+    /// Builds the MSB-first producer pattern
+    /// `zeros(latency) ++ ones(bypass) ++ zeros(bubble) ++ ones(rest)`.
+    ///
+    /// Falls back to all-zeros (long-latency handling, paper §4.1.1) when
+    /// the window does not fit the register width.
+    fn build_pattern(&self, latency: u32, iraw: Option<IrawWindow>) -> u32 {
+        let (bypass, bubble) = match iraw {
+            Some(w) => (w.bypass_levels, w.bubble),
+            None => (0, 0),
+        };
+        if latency + bypass + bubble >= self.width {
+            // A `B`-bit register handles windows up to `B − 1` (the paper's
+            // rule for latencies): the pattern needs at least one trailing
+            // ready bit, or the sticky LSB would block the register
+            // forever. Fall back to long-latency (completion-event) mode.
+            return 0;
+        }
+        let mut bits: u32 = 0;
+        let mut pos = self.width; // MSB-first cursor
+        let push = |count: u32, value: u32, bits: &mut u32, pos: &mut u32| {
+            for _ in 0..count {
+                *pos -= 1;
+                *bits |= value << *pos;
+            }
+        };
+        push(latency, 0, &mut bits, &mut pos);
+        if iraw.is_some() {
+            push(bypass, 1, &mut bits, &mut pos);
+            push(bubble, 0, &mut bits, &mut pos);
+        }
+        push(pos, 1, &mut bits, &mut pos); // remaining ones
+        bits & self.mask
+    }
+
+    /// Records that a producer of `reg` with execution latency `latency`
+    /// issued this cycle. With `iraw` set, the IRAW bubble is encoded.
+    ///
+    /// Latencies too long for the register width mark the register
+    /// long-latency (all zeros); call [`Scoreboard::complete`] when the
+    /// value arrives.
+    pub fn set_producer(&mut self, reg: Reg, latency: u32, iraw: Option<IrawWindow>) {
+        let bits = self.build_pattern(latency, iraw);
+        self.regs[usize::from(reg.index())].bits = bits;
+    }
+
+    /// Marks `reg` long-latency (all zeros) pending a completion event.
+    pub fn mark_long_latency(&mut self, reg: Reg) {
+        self.regs[usize::from(reg.index())].bits = 0;
+    }
+
+    /// Completion event for a long-latency producer (load miss return,
+    /// divider finish): the value is available *now*, so consumers may use
+    /// the bypass immediately, but with IRAW active the register file
+    /// entry still stabilizes for `bubble` cycles.
+    pub fn complete(&mut self, reg: Reg, iraw: Option<IrawWindow>) {
+        let bits = self.build_pattern(0, iraw);
+        self.regs[usize::from(reg.index())].bits = bits;
+    }
+
+    /// Advances one cycle: every register shifts left, keeping its LSB.
+    pub fn tick(&mut self) {
+        for r in &mut self.regs {
+            r.bits = ((r.bits << 1) | (r.bits & 1)) & self.mask;
+        }
+    }
+
+    /// Cycles until `reg` becomes ready, scanning from the MSB
+    /// (`0` when ready now; `width` when all-zero / long-latency).
+    #[must_use]
+    pub fn cycles_until_ready(&self, reg: Reg) -> u32 {
+        let bits = self.regs[usize::from(reg.index())].bits;
+        for k in 0..self.width {
+            if bits >> (self.width - 1 - k) & 1 == 1 {
+                return k;
+            }
+        }
+        self.width
+    }
+
+    /// Resets every register to ready (pipeline flush).
+    pub fn flush(&mut self) {
+        for r in &mut self.regs {
+            r.bits = self.mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn baseline_pattern_matches_figure6() {
+        // 3-cycle producer, 5-bit register: 00011.
+        let mut sb = Scoreboard::new(5);
+        sb.set_producer(r(0), 3, None);
+        assert_eq!(sb.pattern(r(0)), 0b00011);
+        // Shifts: 00111, 01111, 11111 (ready at i+3).
+        sb.tick();
+        assert_eq!(sb.pattern(r(0)), 0b00111);
+        sb.tick();
+        assert_eq!(sb.pattern(r(0)), 0b01111);
+        assert!(!sb.is_ready(r(0)));
+        sb.tick();
+        assert_eq!(sb.pattern(r(0)), 0b11111);
+        assert!(sb.is_ready(r(0)));
+    }
+
+    #[test]
+    fn iraw_pattern_matches_figure8() {
+        // 3-cycle producer, 1 bypass level, N=1, 7-bit register: 0001011.
+        let mut sb = Scoreboard::new(7);
+        let w = IrawWindow {
+            bypass_levels: 1,
+            bubble: 1,
+        };
+        sb.set_producer(r(1), 3, Some(w));
+        assert_eq!(sb.pattern(r(1)), 0b0001011);
+        // Figure 8 sequence: ready bits at i+3, blocked at i+4, ready i+5+.
+        let expected = [
+            (0b0010111, false), // i+1
+            (0b0101111, false), // i+2
+            (0b1011111, true),  // i+3  (bypass)
+            (0b0111111, false), // i+4  (bubble: RF stabilizing)
+            (0b1111111, true),  // i+5
+            (0b1111111, true),  // i+6 (sticky)
+        ];
+        for (bits, ready) in expected {
+            sb.tick();
+            assert_eq!(sb.pattern(r(1)), bits);
+            assert_eq!(sb.is_ready(r(1)), ready);
+        }
+    }
+
+    #[test]
+    fn multi_cycle_bubble_for_larger_n() {
+        // N=2 (paper §4.1.3: lower Vcc / other nodes), 2-cycle producer,
+        // 1 bypass level, 8-bit register: 00101111 → two blocked slots.
+        let mut sb = Scoreboard::new(8);
+        sb.set_producer(
+            r(2),
+            2,
+            Some(IrawWindow {
+                bypass_levels: 1,
+                bubble: 2,
+            }),
+        );
+        assert_eq!(sb.pattern(r(2)), 0b0010_0111);
+        let readiness: Vec<bool> = (0..6)
+            .map(|_| {
+                sb.tick();
+                sb.is_ready(r(2))
+            })
+            .collect();
+        assert_eq!(readiness, vec![false, true, false, false, true, true]);
+    }
+
+    #[test]
+    fn single_cycle_producer_with_iraw() {
+        // 1-cycle ALU, 1 bypass, N=1: 1011111 — consumers may issue
+        // back-to-back (bypass), then one blocked slot.
+        let mut sb = Scoreboard::new(7);
+        sb.set_producer(
+            r(3),
+            1,
+            Some(IrawWindow {
+                bypass_levels: 1,
+                bubble: 1,
+            }),
+        );
+        assert_eq!(sb.pattern(r(3)), 0b0101111);
+        assert!(!sb.is_ready(r(3)));
+        sb.tick();
+        assert!(sb.is_ready(r(3))); // bypass slot
+        sb.tick();
+        assert!(!sb.is_ready(r(3))); // bubble
+        sb.tick();
+        assert!(sb.is_ready(r(3)));
+    }
+
+    #[test]
+    fn long_latency_goes_all_zero_then_completes() {
+        let mut sb = Scoreboard::new(7);
+        sb.set_producer(r(4), 30, None); // exceeds width → all zeros
+        assert_eq!(sb.pattern(r(4)), 0);
+        for _ in 0..20 {
+            sb.tick();
+            assert!(!sb.is_ready(r(4)), "stays not-ready until the event");
+        }
+        // Event arrives with IRAW active: bypass now, bubble next.
+        sb.complete(
+            r(4),
+            Some(IrawWindow {
+                bypass_levels: 1,
+                bubble: 1,
+            }),
+        );
+        assert!(sb.is_ready(r(4)));
+        sb.tick();
+        assert!(!sb.is_ready(r(4)));
+        sb.tick();
+        assert!(sb.is_ready(r(4)));
+    }
+
+    #[test]
+    fn completion_without_iraw_is_immediately_ready() {
+        let mut sb = Scoreboard::new(5);
+        sb.mark_long_latency(r(5));
+        assert!(!sb.is_ready(r(5)));
+        sb.complete(r(5), None);
+        assert!(sb.is_ready(r(5)));
+        sb.tick();
+        assert!(sb.is_ready(r(5)));
+    }
+
+    #[test]
+    fn cycles_until_ready_counts_msb_distance() {
+        let mut sb = Scoreboard::new(7);
+        sb.set_producer(
+            r(6),
+            3,
+            Some(IrawWindow {
+                bypass_levels: 1,
+                bubble: 1,
+            }),
+        );
+        assert_eq!(sb.cycles_until_ready(r(6)), 3);
+        sb.tick();
+        assert_eq!(sb.cycles_until_ready(r(6)), 2);
+        sb.mark_long_latency(r(6));
+        assert_eq!(sb.cycles_until_ready(r(6)), 7);
+    }
+
+    #[test]
+    fn flush_makes_everything_ready() {
+        let mut sb = Scoreboard::new(7);
+        sb.set_producer(r(0), 4, None);
+        sb.mark_long_latency(r(1));
+        sb.flush();
+        assert!(sb.is_ready(r(0)));
+        assert!(sb.is_ready(r(1)));
+    }
+
+    #[test]
+    fn fresh_scoreboard_all_ready() {
+        let sb = Scoreboard::new(7);
+        for reg in Reg::all() {
+            assert!(sb.is_ready(reg));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = Scoreboard::new(0);
+    }
+
+    #[test]
+    fn deactivating_iraw_equals_baseline() {
+        // §4.1.3: at ≥600 mV IRAW is deactivated "by setting properly the
+        // shift register" — bubble 0 must reproduce the baseline pattern
+        // with the bypass slot merged into the trailing ones.
+        let mut a = Scoreboard::new(7);
+        let mut b = Scoreboard::new(7);
+        a.set_producer(
+            r(0),
+            3,
+            Some(IrawWindow {
+                bypass_levels: 1,
+                bubble: 0,
+            }),
+        );
+        b.set_producer(r(0), 3, None);
+        assert_eq!(a.pattern(r(0)), b.pattern(r(0))); // 0001111
+        assert_eq!(a.pattern(r(0)), 0b0001111);
+    }
+}

@@ -1,0 +1,192 @@
+//! Fully-associative TLBs (ITLB, DTLB) with LRU replacement.
+//!
+//! TLBs are among the paper's "infrequently written cache-like blocks": a
+//! fill happens only on a TLB miss, so IRAW avoidance simply stalls the
+//! port for `N` cycles after each fill (paper §4.3).
+
+/// Page size: 4 KiB.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Translation statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TlbStats {
+    /// Lookups performed.
+    pub accesses: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Misses (page walks).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Miss ratio (0 when unused).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A fully-associative TLB.
+///
+/// ```
+/// use lowvcc_uarch::tlb::Tlb;
+///
+/// let mut tlb = Tlb::new(16);
+/// let addr = 0xAB12_3000u64; // page-aligned
+/// assert!(!tlb.access(addr)); // cold miss
+/// tlb.fill(addr);
+/// assert!(tlb.access(addr));
+/// assert!(tlb.access(addr + 0xFFF)); // same page
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tlb {
+    entries: Vec<Option<(u64, u64)>>, // (vpn, last_use)
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "TLB needs at least one entry");
+        Self {
+            entries: vec![None; entries],
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Virtual page number of an address.
+    #[must_use]
+    pub fn vpn(addr: u64) -> u64 {
+        addr >> PAGE_SHIFT
+    }
+
+    /// Looks up the page of `addr`; returns whether it hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let vpn = Self::vpn(addr);
+        for entry in self.entries.iter_mut().flatten() {
+            if entry.0 == vpn {
+                entry.1 = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Installs the page of `addr`, evicting the LRU entry if full.
+    pub fn fill(&mut self, addr: u64) {
+        self.clock += 1;
+        let vpn = Self::vpn(addr);
+        if self
+            .entries
+            .iter()
+            .flatten()
+            .any(|&(existing, _)| existing == vpn)
+        {
+            return;
+        }
+        let slot = if let Some(idx) = self.entries.iter().position(Option::is_none) {
+            idx
+        } else {
+            self.entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.map(|(_, t)| t).unwrap_or(0))
+                .map(|(i, _)| i)
+                .expect("TLB non-empty")
+        };
+        self.entries[slot] = Some((vpn, self.clock));
+    }
+
+    /// Flushes all translations.
+    pub fn flush(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_are_4k() {
+        assert_eq!(Tlb::vpn(0x0000), Tlb::vpn(0x0FFF));
+        assert_ne!(Tlb::vpn(0x0FFF), Tlb::vpn(0x1000));
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(0x1000);
+        tlb.fill(0x2000);
+        assert!(tlb.access(0x1000)); // touch page 1: page 2 becomes LRU
+        tlb.fill(0x3000);
+        assert!(tlb.access(0x1000));
+        assert!(!tlb.access(0x2000), "LRU page must have been evicted");
+        assert!(tlb.access(0x3000));
+    }
+
+    #[test]
+    fn duplicate_fill_is_idempotent() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(0x1000);
+        tlb.fill(0x1000);
+        tlb.fill(0x2000);
+        assert!(tlb.access(0x1000));
+        assert!(tlb.access(0x2000));
+    }
+
+    #[test]
+    fn stats_track_miss_ratio() {
+        let mut tlb = Tlb::new(4);
+        assert!(!tlb.access(0x5000));
+        tlb.fill(0x5000);
+        assert!(tlb.access(0x5000));
+        assert!(tlb.access(0x5800));
+        let s = tlb.stats();
+        assert_eq!((s.accesses, s.hits, s.misses), (3, 2, 1));
+        assert!((s.miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_clears_translations() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(0x1000);
+        tlb.flush();
+        assert!(!tlb.access(0x1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0);
+    }
+}

@@ -1,0 +1,13 @@
+//! # lowvcc — High-Performance Low-Vcc In-Order Core (HPCA 2010) reproduction
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+
+#![forbid(unsafe_code)]
+
+pub use lowvcc_baselines as baselines;
+pub use lowvcc_core as core;
+pub use lowvcc_energy as energy;
+pub use lowvcc_sram as sram;
+pub use lowvcc_trace as trace;
+pub use lowvcc_uarch as uarch;

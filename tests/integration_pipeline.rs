@@ -1,0 +1,182 @@
+//! Cross-crate pipeline integration: mechanism orderings, determinism,
+//! adaptation and baseline designs on real synthetic workloads.
+
+use lowvcc_baselines::{ExtraBypassDesign, ExtraBypassScope, FaultyBitsDesign, FaultyBitsScope};
+use lowvcc_core::{
+    adapt_at, compare_mechanisms, run_suite, AdaptGoal, CoreConfig, Mechanism, SimConfig,
+    Simulator,
+};
+use lowvcc_energy::EnergyModel;
+use lowvcc_sram::voltage::mv;
+use lowvcc_sram::CycleTimeModel;
+use lowvcc_trace::{Trace, TraceSpec, WorkloadFamily};
+
+fn timing() -> CycleTimeModel {
+    CycleTimeModel::silverthorne_45nm()
+}
+
+fn traces(len: usize) -> Vec<Trace> {
+    [
+        (WorkloadFamily::SpecInt, 3u64),
+        (WorkloadFamily::Office, 4),
+        (WorkloadFamily::Kernel, 5),
+    ]
+    .iter()
+    .map(|&(f, s)| TraceSpec::new(f, s, len).build().unwrap())
+    .collect()
+}
+
+#[test]
+fn mechanism_time_ordering_at_every_low_voltage() {
+    let core = CoreConfig::silverthorne();
+    let ts = traces(15_000);
+    for v in [575, 525, 475, 425] {
+        let base = run_suite(
+            &SimConfig::at_vcc(core, &timing(), mv(v), Mechanism::Baseline),
+            &ts,
+        )
+        .unwrap();
+        let iraw = run_suite(
+            &SimConfig::at_vcc(core, &timing(), mv(v), Mechanism::Iraw),
+            &ts,
+        )
+        .unwrap();
+        let ideal = run_suite(
+            &SimConfig::at_vcc(core, &timing(), mv(v), Mechanism::IdealLogic),
+            &ts,
+        )
+        .unwrap();
+        // Wall-clock: ideal ≤ IRAW < baseline. The ideal clock may lose up
+        // to ~1% to ceil() quantization of the constant-time DRAM latency
+        // (a faster clock rounds the same nanoseconds up to more cycles).
+        assert!(
+            ideal.total_seconds() <= iraw.total_seconds() * 1.01,
+            "{v} mV"
+        );
+        assert!(iraw.total_seconds() < base.total_seconds(), "{v} mV");
+        // IRAW pays stall cycles against a stall-free run at the *same*
+        // clock (the clean comparison; the ideal clock differs in memory
+        // cycle counts). Measured via the stall counters directly:
+        let iraw_stalls: u64 = iraw
+            .per_trace
+            .iter()
+            .map(|(_, r)| r.stats.stalls.rf_iraw + r.stats.stalls.iq_iraw)
+            .sum();
+        assert!(iraw_stalls > 0, "{v} mV: IRAW must pay some stalls");
+        // Baseline never stalls for IRAW.
+        for (_, r) in &base.per_trace {
+            assert_eq!(r.stats.stalls.rf_iraw, 0);
+            assert_eq!(r.stats.stalls.iq_iraw, 0);
+            assert_eq!(r.stats.stable.probes, 0);
+        }
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let core = CoreConfig::silverthorne();
+    let cfg = SimConfig::at_vcc(core, &timing(), mv(450), Mechanism::Iraw);
+    let sim = Simulator::new(cfg).unwrap();
+    let t = TraceSpec::new(WorkloadFamily::Server, 11, 30_000).build().unwrap();
+    let a = sim.run(&t).unwrap();
+    let b = sim.run(&t).unwrap();
+    assert_eq!(a.stats, b.stats);
+    // Rebuilding the trace from the same spec gives the same stream.
+    let t2 = TraceSpec::new(WorkloadFamily::Server, 11, 30_000).build().unwrap();
+    assert_eq!(t.uops, t2.uops);
+}
+
+#[test]
+fn measured_adaptation_matches_predictive_controller() {
+    // The energy crate's predictive DVFS controller and the measured
+    // adaptation must agree on the on/off boundary (600 mV).
+    let energy = EnergyModel::silverthorne_45nm();
+    let core = CoreConfig::silverthorne();
+    let ts = traces(10_000);
+    let low = adapt_at(core, &timing(), &energy, mv(500), &ts, AdaptGoal::MinEdp).unwrap();
+    assert_eq!(low.chosen, Mechanism::Iraw);
+    assert!(low.iraw_edp_ratio < 0.85);
+    let high = adapt_at(core, &timing(), &energy, mv(625), &ts, AdaptGoal::Performance).unwrap();
+    assert!((high.iraw_speedup - 1.0).abs() < 0.01, "tie above the boundary");
+}
+
+#[test]
+fn faulty_bits_all_blocks_pays_with_misses() {
+    let core = CoreConfig::silverthorne();
+    let ts = traces(15_000);
+    let v = mv(425);
+    let design = FaultyBitsDesign::four_sigma(FaultyBitsScope::AllBlocksHypothetical);
+    let faulty = run_suite(&design.sim_config(core, &timing(), v, 9), &ts).unwrap();
+    let base = run_suite(
+        &SimConfig::at_vcc(core, &timing(), v, Mechanism::Baseline),
+        &ts,
+    )
+    .unwrap();
+    // Faster clock wins time…
+    assert!(faulty.total_seconds() < base.total_seconds());
+    // …but the disabled lines cost IPC.
+    assert!(faulty.aggregate_ipc() <= base.aggregate_ipc() + 1e-9);
+}
+
+#[test]
+fn extra_bypass_contention_shows_up_in_stats() {
+    let core = CoreConfig::silverthorne();
+    let ts = traces(15_000);
+    let design = ExtraBypassDesign::two_cycle(ExtraBypassScope::AllBlocksHypothetical);
+    let cfg = design.sim_config(core, &timing(), mv(475));
+    let suite = run_suite(&cfg, &ts).unwrap();
+    let port_stalls: u64 = suite
+        .per_trace
+        .iter()
+        .map(|(_, r)| r.stats.write_port_stalls)
+        .sum();
+    assert!(port_stalls > 0, "two-cycle writes must contend for ports");
+}
+
+#[test]
+fn iraw_comparison_carries_block_level_evidence() {
+    let core = CoreConfig::silverthorne();
+    let cmp = compare_mechanisms(core, &timing(), mv(475), &traces(20_000)).unwrap();
+    let mut full_matches = 0;
+    let mut bp_reads = 0;
+    for (_, r) in &cmp.iraw.per_trace {
+        full_matches += r.stats.stable.full_matches;
+        bp_reads += r.stats.branches.branches;
+        // Every run commits its full trace.
+        assert_eq!(r.stats.instructions, 20_000);
+    }
+    assert!(full_matches > 0, "stack spills must hit the Store Table");
+    assert!(bp_reads > 1000, "branches flow through the predictor");
+}
+
+#[test]
+fn iraw_aware_scheduling_reduces_rf_stalls() {
+    // The paper's §5.2 future-work claim, demonstrated: reordering the
+    // trace to widen producer→consumer distances removes register-file
+    // IRAW stalls without changing semantics.
+    use lowvcc_trace::{schedule_trace, verify_reorder, ScheduleConfig};
+    let core = CoreConfig::silverthorne();
+    let cfg = SimConfig::at_vcc(core, &timing(), mv(475), Mechanism::Iraw);
+    let sim = Simulator::new(cfg).unwrap();
+
+    let original = TraceSpec::new(WorkloadFamily::SpecInt, 33, 40_000)
+        .build()
+        .unwrap();
+    let (scheduled, stats) = schedule_trace(&original, ScheduleConfig::silverthorne_iraw());
+    verify_reorder(&original, &scheduled).unwrap();
+    assert!(stats.hoisted > 0, "scheduler must find hoisting opportunities");
+
+    let before = sim.run(&original).unwrap();
+    let after = sim.run(&scheduled).unwrap();
+    assert_eq!(after.stats.instructions, before.stats.instructions);
+    assert!(
+        after.stats.stalls.rf_iraw < before.stats.stalls.rf_iraw,
+        "RF IRAW stalls: {} → {}",
+        before.stats.stalls.rf_iraw,
+        after.stats.stalls.rf_iraw
+    );
+    assert!(
+        after.stats.iraw_delayed_instructions < before.stats.iraw_delayed_instructions,
+        "delayed instructions must drop"
+    );
+}

@@ -1,0 +1,224 @@
+//! Property-based tests over the core data structures and models.
+
+use proptest::prelude::*;
+
+use lowvcc_sram::voltage::mv;
+use lowvcc_sram::{Bitcell8T, CycleTimeModel, TimingLimiter};
+use lowvcc_trace::{Reg, SimRng, TraceSpec, WorkloadFamily};
+use lowvcc_uarch::cache::{CacheConfig, SetAssocCache};
+use lowvcc_uarch::iq::InstQueue;
+use lowvcc_uarch::replacement::Policy;
+use lowvcc_uarch::scoreboard::{IrawWindow, Scoreboard};
+use lowvcc_uarch::stable::{StableMatch, StoreTable, TrackedStore};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Scoreboard semantics: for any producer latency and IRAW window that
+    /// fit the register, readiness over time is exactly
+    /// `not-ready(lat) ; ready(bypass) ; not-ready(bubble) ; ready(∞)`.
+    #[test]
+    fn scoreboard_window_semantics(
+        latency in 1u32..5,
+        bypass in 1u32..3,
+        bubble in 0u32..3,
+        width in 8u32..16,
+    ) {
+        // A B-bit register supports windows up to B − 1 bits (the pattern
+        // needs a trailing ready bit).
+        prop_assume!(latency + bypass + bubble < width);
+        let mut sb = Scoreboard::new(width);
+        let r = Reg::new(7).unwrap();
+        sb.set_producer(r, latency, Some(IrawWindow { bypass_levels: bypass, bubble }));
+        let horizon = width + 4;
+        for cycle in 0..horizon {
+            let expect = if cycle < latency {
+                false
+            } else if cycle < latency + bypass {
+                true
+            } else if cycle < latency + bypass + bubble {
+                false
+            } else {
+                true
+            };
+            prop_assert_eq!(sb.is_ready(r), expect, "cycle {}", cycle);
+            sb.tick();
+        }
+    }
+
+    /// Once ready-forever, a register stays ready under arbitrary ticks
+    /// (the trailing ones are sticky).
+    #[test]
+    fn scoreboard_ready_is_sticky(latency in 1u32..6, extra_ticks in 0u32..40) {
+        let mut sb = Scoreboard::new(8);
+        let r = Reg::new(1).unwrap();
+        sb.set_producer(r, latency, None);
+        for _ in 0..latency {
+            sb.tick();
+        }
+        prop_assert!(sb.is_ready(r));
+        for _ in 0..extra_ticks {
+            sb.tick();
+            prop_assert!(sb.is_ready(r));
+        }
+    }
+
+    /// The IQ behaves exactly like a FIFO, and the Figure 9 hardware
+    /// occupancy always agrees with the architectural count.
+    #[test]
+    fn iq_matches_reference_fifo(ops in prop::collection::vec(0u8..3, 1..200)) {
+        let mut iq: InstQueue<u32> = InstQueue::new(16);
+        let mut reference = std::collections::VecDeque::new();
+        let mut next = 0u32;
+        for op in ops {
+            match op {
+                0 => {
+                    let ok = iq.alloc(next).is_ok();
+                    if reference.len() < 16 {
+                        prop_assert!(ok);
+                        reference.push_back(next);
+                    } else {
+                        prop_assert!(!ok);
+                    }
+                    next += 1;
+                }
+                1 => {
+                    prop_assert_eq!(iq.pop_oldest(), reference.pop_front());
+                }
+                _ => {
+                    iq.flush();
+                    reference.clear();
+                }
+            }
+            prop_assert_eq!(iq.occupancy(), reference.len());
+            prop_assert_eq!(iq.hardware_occupancy(), reference.len());
+            prop_assert_eq!(iq.front(), reference.front());
+        }
+    }
+
+    /// Cache coherence of the tag store: after a fill, the line hits until
+    /// it is evicted or invalidated; misses never lie.
+    #[test]
+    fn cache_tag_store_is_truthful(lines in prop::collection::vec(0u64..64, 1..300)) {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+            policy: Policy::Lru,
+        }).unwrap();
+        let mut resident = std::collections::HashSet::new();
+        for line in lines {
+            let hit = cache.access(line);
+            prop_assert_eq!(hit, resident.contains(&line), "line {}", line);
+            if !hit {
+                if let Ok(evicted) = cache.fill(line) {
+                    if let Some(v) = evicted {
+                        resident.remove(&v);
+                    }
+                    resident.insert(line);
+                }
+            }
+        }
+    }
+
+    /// Store Table: a probe returns Full iff some enabled tracked store
+    /// overlaps the probed range; SetOnly iff only a set matches.
+    #[test]
+    fn stable_matches_reference_model(
+        stores in prop::collection::vec((0u64..32, prop::bool::ANY), 1..40),
+        probe_word in 0u64..32,
+    ) {
+        let mut st = StoreTable::new(2);
+        let mut window: std::collections::VecDeque<Option<(u64, u64)>> =
+            std::collections::VecDeque::new(); // (addr, set)
+        for (word, present) in stores {
+            let addr = word * 8;
+            let set = word % 4;
+            let tracked = present.then_some(TrackedStore { addr, size: 8, set });
+            st.cycle_update(tracked);
+            window.push_back(present.then_some((addr, set)));
+            if window.len() > 2 {
+                window.pop_front();
+            }
+        }
+        let addr = probe_word * 8;
+        let set = probe_word % 4;
+        let live: Vec<(u64, u64)> = window.iter().flatten().copied().collect();
+        let expect_full = live.iter().any(|&(a, _)| a == addr);
+        let expect_set = live.iter().any(|&(_, s)| s == set);
+        match st.probe(addr, 8, set) {
+            StableMatch::Full { .. } => prop_assert!(expect_full),
+            StableMatch::SetOnly { .. } => prop_assert!(!expect_full && expect_set),
+            StableMatch::None => prop_assert!(!expect_full && !expect_set),
+        }
+    }
+
+    /// Timing-model monotonicity: for any two voltages, the lower one has
+    /// longer delays under every limiter, and IRAW sits between logic and
+    /// write-limited.
+    #[test]
+    fn cycle_times_monotone_and_ordered(a in 400u32..700, b in 400u32..700) {
+        let m = CycleTimeModel::silverthorne_45nm();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assume!(lo != hi);
+        for limiter in [TimingLimiter::Logic, TimingLimiter::WriteLimited, TimingLimiter::Iraw] {
+            prop_assert!(m.cycle_time(mv(lo), limiter) > m.cycle_time(mv(hi), limiter));
+        }
+        for v in [lo, hi] {
+            let logic = m.cycle_time(mv(v), TimingLimiter::Logic);
+            let iraw = m.cycle_time(mv(v), TimingLimiter::Iraw);
+            let base = m.cycle_time(mv(v), TimingLimiter::WriteLimited);
+            prop_assert!(logic <= iraw);
+            prop_assert!(iraw <= base);
+        }
+    }
+
+    /// Bitcell σ-sensitivity: write delay increases with σ at any voltage.
+    #[test]
+    fn write_delay_monotone_in_sigma(v in 400u32..700, s1 in 0f64..6.0, s2 in 0f64..6.0) {
+        prop_assume!((s1 - s2).abs() > 0.05);
+        let cell = Bitcell8T::silverthorne_45nm();
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(
+            cell.write_delay_at_sigma(mv(v), lo) < cell.write_delay_at_sigma(mv(v), hi)
+        );
+    }
+
+    /// PRNG bounds: `below(n)` always lands in range and `chance`
+    /// respects the clamped extremes.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+        prop_assert!(!rng.chance(0.0));
+        prop_assert!(rng.chance(1.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whole-stack property: any seeded workload simulates to completion
+    /// under every mechanism, committing exactly its uop count, with IPC
+    /// within the machine's physical bounds.
+    #[test]
+    fn any_workload_simulates_cleanly(
+        seed in 0u64..5000,
+        family_idx in 0usize..7,
+        len in 1_000usize..4_000,
+    ) {
+        use lowvcc_core::{CoreConfig, Mechanism, SimConfig, Simulator};
+        let family = WorkloadFamily::all()[family_idx];
+        let trace = TraceSpec::new(family, seed, len).build().unwrap();
+        let timing = CycleTimeModel::silverthorne_45nm();
+        for mech in [Mechanism::Baseline, Mechanism::Iraw] {
+            let cfg = SimConfig::at_vcc(CoreConfig::silverthorne(), &timing, mv(475), mech);
+            let result = Simulator::new(cfg).unwrap().run(&trace).unwrap();
+            prop_assert_eq!(result.stats.instructions, len as u64);
+            prop_assert!(result.stats.ipc() <= 2.0);
+            prop_assert!(result.stats.cycles >= (len as u64) / 2);
+        }
+    }
+}
