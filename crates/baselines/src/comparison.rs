@@ -7,7 +7,7 @@
 //! rows reproduce the published table verbatim; [`quantitative_table`]
 //! backs each claim with measured numbers at a chosen voltage.
 
-use lowvcc_core::{run_suite, CoreConfig, Mechanism, SimConfig};
+use lowvcc_core::{run_suite, CoreConfig, Mechanism, SimConfig, SimError};
 use lowvcc_energy::{ExtraBypassOverhead, FaultyBitsOverhead, IrawOverhead};
 use lowvcc_sram::{CycleTimeModel, Millivolts};
 use lowvcc_trace::Trace;
@@ -97,7 +97,7 @@ pub fn quantitative_table(
     timing: &CycleTimeModel,
     vcc: Millivolts,
     traces: &[Trace],
-) -> Result<Vec<QuantRow>, String> {
+) -> Result<Vec<QuantRow>, SimError> {
     let base_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Baseline);
     let base = run_suite(&base_cfg, traces)?;
     let base_time = base.total_seconds();
@@ -109,7 +109,7 @@ pub fn quantitative_table(
                     area: f64,
                     energy: f64,
                     hard_to_test: bool|
-     -> Result<(), String> {
+     -> Result<(), SimError> {
         let suite = run_suite(&cfg, traces)?;
         rows.push(QuantRow {
             technique: name.to_string(),
@@ -123,7 +123,13 @@ pub fn quantitative_table(
         Ok(())
     };
 
-    push("baseline (6-sigma write-limited)", base_cfg.clone(), 0.0, 1.0, false)?;
+    push(
+        "baseline (6-sigma write-limited)",
+        base_cfg.clone(),
+        0.0,
+        1.0,
+        false,
+    )?;
 
     let fb_real = FaultyBitsDesign::four_sigma(FaultyBitsScope::CachesOnly);
     push(
@@ -195,8 +201,12 @@ mod tests {
     fn quantitative_table_tells_the_papers_story() {
         let timing = CycleTimeModel::silverthorne_45nm();
         let traces: Vec<Trace> = vec![
-            TraceSpec::new(WorkloadFamily::SpecInt, 0, 12_000).build().unwrap(),
-            TraceSpec::new(WorkloadFamily::Multimedia, 1, 12_000).build().unwrap(),
+            TraceSpec::new(WorkloadFamily::SpecInt, 0, 12_000)
+                .build()
+                .unwrap(),
+            TraceSpec::new(WorkloadFamily::Multimedia, 1, 12_000)
+                .build()
+                .unwrap(),
         ];
         let rows =
             quantitative_table(CoreConfig::silverthorne(), &timing, mv(475), &traces).unwrap();

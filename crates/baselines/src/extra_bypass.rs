@@ -60,8 +60,7 @@ impl ExtraBypassDesign {
     /// cycle).
     #[must_use]
     pub fn cycle_time(&self, timing: &CycleTimeModel, vcc: Millivolts) -> Picoseconds {
-        let mux_factor =
-            f64::from(PHASE_FO4 + self.extra_levels) / f64::from(PHASE_FO4);
+        let mux_factor = f64::from(PHASE_FO4 + self.extra_levels) / f64::from(PHASE_FO4);
         let logic_phase = timing.phase(vcc).picos() * mux_factor;
         let read_phase = timing.read_phase(vcc).picos();
         let phase = match self.scope {
@@ -149,7 +148,10 @@ mod tests {
         let d = ExtraBypassDesign::two_cycle(ExtraBypassScope::AllBlocksHypothetical);
         let t = timing();
         let gain_500 = d.frequency_gain(&t, mv(500));
-        assert!(gain_500 > 1.3, "two-cycle writes unlock the clock: {gain_500:.3}");
+        assert!(
+            gain_500 > 1.3,
+            "two-cycle writes unlock the clock: {gain_500:.3}"
+        );
         // At high Vcc (logic-limited) the deeper mux makes it *slower*
         // than the baseline — the "costs paid at any Vcc level" row.
         let gain_700 = d.frequency_gain(&t, mv(700));

@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use lowvcc_baselines::{
-    ExtraBypassDesign, ExtraBypassScope, FaultyBitsDesign, FaultyBitsScope,
-};
+use lowvcc_baselines::{ExtraBypassDesign, ExtraBypassScope, FaultyBitsDesign, FaultyBitsScope};
 use lowvcc_core::{CoreConfig, Mechanism, SimConfig, Simulator};
 use lowvcc_sram::{voltage::mv, CycleTimeModel};
 use lowvcc_trace::{Trace, TraceSpec, WorkloadFamily};

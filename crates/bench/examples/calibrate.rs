@@ -17,7 +17,10 @@ fn main() {
         let n = cmp.iraw.per_trace.len() as f64;
         for (_, r) in &cmp.iraw.per_trace {
             let f = r.stats.stall_fractions();
-            stall.0 += f.0 / n; stall.1 += f.1 / n; stall.2 += f.2 / n; stall.3 += f.3 / n;
+            stall.0 += f.0 / n;
+            stall.1 += f.1 / n;
+            stall.2 += f.2 / n;
+            stall.3 += f.3 / n;
         }
         println!("{v} mV: freq_gain={:.3} speedup={:.3} delayed={:.4} rf={:.4} iq={:.4} dl0={:.4} oth={:.4} ipc_iraw={:.3}",
             cmp.frequency_gain, cmp.speedup.total_time, cmp.iraw.delayed_instruction_fraction(),

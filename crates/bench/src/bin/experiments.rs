@@ -9,35 +9,79 @@
 //! Examples: `experiments`, `experiments --suite quick`,
 //! `experiments --suite 3x50000 --out results`.
 
+use std::fmt;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lowvcc_bench::experiments::run_all;
-use lowvcc_bench::ExperimentContext;
+use lowvcc_bench::{ExperimentContext, ExperimentError};
 
-fn parse_args() -> Result<(ExperimentContext, PathBuf), String> {
+/// Binary-local error: either a usage problem or a harness failure.
+enum CliError {
+    Usage(String),
+    Run(ExperimentError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(msg) => f.write_str(msg),
+            Self::Run(e) => write!(f, "experiment failed: {e}"),
+        }
+    }
+}
+
+impl From<ExperimentError> for CliError {
+    fn from(e: ExperimentError) -> Self {
+        Self::Run(e)
+    }
+}
+
+const USAGE: &str = "usage: experiments [--suite quick|standard|NxLEN] [--out DIR]";
+
+fn usage<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError::Usage(msg.into()))
+}
+
+fn parse_args() -> Result<(ExperimentContext, PathBuf), CliError> {
     let mut suite = "standard".to_string();
     let mut out = PathBuf::from("results");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--suite" => suite = args.next().ok_or("--suite needs a value")?,
-            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--suite" => match args.next() {
+                Some(v) => suite = v,
+                None => return usage("--suite needs a value"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return usage("--out needs a value"),
+            },
             "--help" | "-h" => {
-                return Err("usage: experiments [--suite quick|standard|NxLEN] [--out DIR]".into())
+                println!("{USAGE}");
+                std::process::exit(0);
             }
-            other => return Err(format!("unknown argument {other}")),
+            other => return usage(format!("unknown argument {other}\n{USAGE}")),
         }
     }
     let ctx = match suite.as_str() {
         "quick" => ExperimentContext::quick()?,
         "standard" => ExperimentContext::standard()?,
         custom => {
-            let (n, len) = custom
-                .split_once('x')
-                .ok_or_else(|| format!("bad suite spec {custom}; want e.g. 3x50000"))?;
-            let n: u32 = n.parse().map_err(|_| "bad per-family count")?;
-            let len: usize = len.parse().map_err(|_| "bad trace length")?;
+            let Some((n, len)) = custom.split_once('x') else {
+                return usage(format!("bad suite spec {custom}; want e.g. 3x50000"));
+            };
+            let Ok(n) = n.parse::<u32>() else {
+                return usage("bad per-family count");
+            };
+            let Ok(len) = len.parse::<usize>() else {
+                return usage("bad trace length");
+            };
+            // A suite with no traces (or empty traces) has no defined
+            // speedups/EDP — reject it here rather than panic mid-sweep.
+            if n == 0 || len == 0 {
+                return usage("suite spec needs at least 1 trace per family and 1 uop per trace");
+            }
             ExperimentContext::sized(n, len)?
         }
     };
@@ -64,7 +108,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("experiment failed: {e}");
+            eprintln!("{}", CliError::Run(e));
             ExitCode::FAILURE
         }
     }

@@ -2,6 +2,8 @@
 //! suite.
 
 use lowvcc_core::CoreConfig;
+
+use crate::error::ExperimentError;
 use lowvcc_energy::EnergyModel;
 use lowvcc_sram::CycleTimeModel;
 use lowvcc_trace::{suite, Trace, TraceSpec};
@@ -28,7 +30,7 @@ impl ExperimentContext {
     /// # Errors
     ///
     /// Propagates trace-generation failures.
-    pub fn from_specs(specs: &[TraceSpec], label: &str) -> Result<Self, String> {
+    pub fn from_specs(specs: &[TraceSpec], label: &str) -> Result<Self, ExperimentError> {
         let mut traces = Vec::with_capacity(specs.len());
         for s in specs {
             traces.push(s.build()?);
@@ -47,7 +49,7 @@ impl ExperimentContext {
     /// # Errors
     ///
     /// Propagates trace-generation failures.
-    pub fn quick() -> Result<Self, String> {
+    pub fn quick() -> Result<Self, ExperimentError> {
         Self::from_specs(&suite(1, 10_000), "quick (7×10k)")
     }
 
@@ -58,7 +60,7 @@ impl ExperimentContext {
     /// # Errors
     ///
     /// Propagates trace-generation failures.
-    pub fn standard() -> Result<Self, String> {
+    pub fn standard() -> Result<Self, ExperimentError> {
         Self::from_specs(&suite(7, 200_000), "standard (49×200k)")
     }
 
@@ -67,7 +69,7 @@ impl ExperimentContext {
     /// # Errors
     ///
     /// Propagates trace-generation failures.
-    pub fn sized(per_family: u32, len: usize) -> Result<Self, String> {
+    pub fn sized(per_family: u32, len: usize) -> Result<Self, ExperimentError> {
         Self::from_specs(
             &suite(per_family, len),
             &format!("custom ({}×{len})", per_family * 7),

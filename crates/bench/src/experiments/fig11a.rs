@@ -20,7 +20,10 @@ pub fn table(ctx: &ExperimentContext) -> TextTable {
         t.row(vec![
             v.millivolts().to_string(),
             fnum(ctx.timing.normalized_cycle(v, TimingLimiter::Logic), 3),
-            fnum(ctx.timing.normalized_cycle(v, TimingLimiter::WriteLimited), 3),
+            fnum(
+                ctx.timing.normalized_cycle(v, TimingLimiter::WriteLimited),
+                3,
+            ),
             fnum(ctx.timing.normalized_cycle(v, TimingLimiter::Iraw), 3),
             ctx.timing.stabilization_cycles(v).to_string(),
         ]);

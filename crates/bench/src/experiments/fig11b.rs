@@ -1,0 +1,32 @@
+//! F11b — Figure 11b: frequency increase and performance gains vs Vcc.
+//!
+//! The measurement lives in [`sweep`](super::sweep): one baseline-vs-IRAW
+//! sweep produces both Figure 11b and Figure 12, so this module is a thin
+//! alias exposing the Figure 11b surface under the experiment ID the
+//! crate-level table documents.
+
+pub use super::sweep::{at, run_sweep, SweepPoint};
+
+use crate::report::TextTable;
+
+/// Formats the Figure 11b table from an already-run sweep.
+///
+/// Alias for [`sweep::fig11b_table`](super::sweep::fig11b_table).
+#[must_use]
+pub fn table(points: &[SweepPoint]) -> TextTable {
+    super::sweep::fig11b_table(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentContext;
+
+    #[test]
+    fn alias_produces_the_sweep_table() {
+        let ctx = ExperimentContext::sized(1, 2_000).unwrap();
+        let points = run_sweep(&ctx).unwrap();
+        let t = table(&points);
+        assert_eq!(t.len(), points.len());
+    }
+}

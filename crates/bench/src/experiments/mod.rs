@@ -2,6 +2,8 @@
 
 pub mod fig1;
 pub mod fig11a;
+pub mod fig11b;
+pub mod fig12;
 pub mod scalars;
 pub mod stalls;
 pub mod sweep;
@@ -10,19 +12,25 @@ pub mod table1;
 use std::path::Path;
 
 use crate::context::ExperimentContext;
+use crate::error::ExperimentError;
+use crate::report::TextTable;
 
 /// Re-exported for Figure 11b / Figure 12 consumers.
 pub use sweep::{run_sweep, SweepPoint};
+
+fn save(table: &TextTable, path: &Path) -> Result<(), ExperimentError> {
+    table.write_csv(path).map_err(ExperimentError::io_at(path))
+}
 
 /// Runs every experiment, writing CSVs under `out_dir` and returning the
 /// combined text report.
 ///
 /// # Errors
 ///
-/// Propagates simulation and I/O failures (I/O errors are stringified).
-pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<String, String> {
+/// Propagates simulation failures and CSV I/O failures (with the
+/// offending path attached).
+pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<String, ExperimentError> {
     let mut report = String::new();
-    let io = |e: std::io::Error| e.to_string();
 
     report.push_str(&format!(
         "# lowvcc experiment report — suite: {} ({} uops total)\n\n",
@@ -32,13 +40,13 @@ pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<String, String
 
     report.push_str("## Figure 1 — delay vs Vcc (normalized to 12 FO4 @ 700 mV)\n");
     let t = fig1::table(ctx);
-    t.write_csv(&out_dir.join("fig1.csv")).map_err(io)?;
+    save(&t, &out_dir.join("fig1.csv"))?;
     report.push_str(&t.render());
     report.push('\n');
 
     report.push_str("## Figure 11a — cycle time vs Vcc (normalized to 24 FO4 @ 700 mV)\n");
     let t = fig11a::table(ctx);
-    t.write_csv(&out_dir.join("fig11a.csv")).map_err(io)?;
+    save(&t, &out_dir.join("fig11a.csv"))?;
     report.push_str(&t.render());
     report.push('\n');
 
@@ -46,37 +54,37 @@ pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<String, String
 
     report.push_str("## Figure 11b — frequency increase and performance gains\n");
     let t = sweep::fig11b_table(&points);
-    t.write_csv(&out_dir.join("fig11b.csv")).map_err(io)?;
+    save(&t, &out_dir.join("fig11b.csv"))?;
     report.push_str(&t.render());
     report.push('\n');
 
     report.push_str("## Figure 12 — IRAW-relative energy, delay and EDP\n");
     let t = sweep::fig12_table(&points);
-    t.write_csv(&out_dir.join("fig12.csv")).map_err(io)?;
+    save(&t, &out_dir.join("fig12.csv"))?;
     report.push_str(&t.render());
     report.push('\n');
 
     report.push_str("## Table 1 — technique comparison (qualitative)\n");
     let t = table1::qualitative();
-    t.write_csv(&out_dir.join("table1_qualitative.csv")).map_err(io)?;
+    save(&t, &out_dir.join("table1_qualitative.csv"))?;
     report.push_str(&t.render());
     report.push('\n');
 
     report.push_str("## Table 1 companion — measured at 500 mV\n");
     let t = table1::quantitative(ctx)?;
-    t.write_csv(&out_dir.join("table1_quantitative.csv")).map_err(io)?;
+    save(&t, &out_dir.join("table1_quantitative.csv"))?;
     report.push_str(&t.render());
     report.push('\n');
 
     report.push_str("## §5.2 — stall attribution at 575 mV\n");
     let (t, _) = stalls::table(ctx)?;
-    t.write_csv(&out_dir.join("stalls_575mv.csv")).map_err(io)?;
+    save(&t, &out_dir.join("stalls_575mv.csv"))?;
     report.push_str(&t.render());
     report.push('\n');
 
     report.push_str("## Scalar results (paper §5.2, §4.5, §5.3)\n");
     let t = scalars::table(ctx, &points)?;
-    t.write_csv(&out_dir.join("scalars.csv")).map_err(io)?;
+    save(&t, &out_dir.join("scalars.csv"))?;
     report.push_str(&t.render());
     report.push('\n');
 

@@ -4,6 +4,7 @@
 use lowvcc_energy::{ExtraBypassOverhead, FaultyBitsOverhead, IrawOverhead};
 
 use crate::context::ExperimentContext;
+use crate::error::ExperimentError;
 use crate::experiments::sweep::{at, SweepPoint};
 use crate::report::TextTable;
 
@@ -12,10 +13,13 @@ use crate::report::TextTable;
 /// # Errors
 ///
 /// Returns an error if the sweep lacks the anchor voltages.
-pub fn table(_ctx: &ExperimentContext, points: &[SweepPoint]) -> Result<TextTable, String> {
-    let p500 = at(points, 500).ok_or("sweep missing 500 mV")?;
-    let p400 = at(points, 400).ok_or("sweep missing 400 mV")?;
-    let p575 = at(points, 575).ok_or("sweep missing 575 mV")?;
+pub fn table(
+    _ctx: &ExperimentContext,
+    points: &[SweepPoint],
+) -> Result<TextTable, ExperimentError> {
+    let p500 = at(points, 500).ok_or(ExperimentError::MissingSweepPoint { mv: 500 })?;
+    let p400 = at(points, 400).ok_or(ExperimentError::MissingSweepPoint { mv: 400 })?;
+    let p575 = at(points, 575).ok_or(ExperimentError::MissingSweepPoint { mv: 575 })?;
 
     let iraw = IrawOverhead::silverthorne();
     let fb = FaultyBitsOverhead::silverthorne();

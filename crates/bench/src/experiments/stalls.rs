@@ -14,6 +14,7 @@ use lowvcc_core::{run_suite, Mechanism, SimConfig};
 use lowvcc_sram::Millivolts;
 
 use crate::context::ExperimentContext;
+use crate::error::ExperimentError;
 use crate::report::{fnum, TextTable};
 
 /// The measured attribution at one voltage.
@@ -41,7 +42,7 @@ pub struct StallReport {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn measure(ctx: &ExperimentContext) -> Result<StallReport, String> {
+pub fn measure(ctx: &ExperimentContext) -> Result<StallReport, ExperimentError> {
     measure_at(ctx, Millivolts::new(575).expect("grid voltage"))
 }
 
@@ -50,7 +51,10 @@ pub fn measure(ctx: &ExperimentContext) -> Result<StallReport, String> {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn measure_at(ctx: &ExperimentContext, vcc: Millivolts) -> Result<StallReport, String> {
+pub fn measure_at(
+    ctx: &ExperimentContext,
+    vcc: Millivolts,
+) -> Result<StallReport, ExperimentError> {
     let iraw_cfg = SimConfig::at_vcc(ctx.core, &ctx.timing, vcc, Mechanism::Iraw);
     // Stall-free reference: identical clock, all IRAW mechanisms off.
     let mut free_cfg = iraw_cfg.clone();
@@ -89,7 +93,7 @@ pub fn measure_at(ctx: &ExperimentContext, vcc: Millivolts) -> Result<StallRepor
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn table(ctx: &ExperimentContext) -> Result<(TextTable, StallReport), String> {
+pub fn table(ctx: &ExperimentContext) -> Result<(TextTable, StallReport), ExperimentError> {
     let r = measure(ctx)?;
     let mut t = TextTable::new(vec!["quantity", "measured", "paper"]);
     t.row(vec![

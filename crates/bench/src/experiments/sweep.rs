@@ -6,6 +6,7 @@ use lowvcc_energy::{EdpPoint, IrawOverhead};
 use lowvcc_sram::{Millivolts, PAPER_SWEEP};
 
 use crate::context::ExperimentContext;
+use crate::error::ExperimentError;
 use crate::report::{fnum, TextTable};
 
 /// Measured baseline-vs-IRAW numbers at one supply voltage.
@@ -44,7 +45,10 @@ fn suite_energy(
     suite
         .per_trace
         .iter()
-        .map(|(_, r)| ctx.energy.breakdown(vcc, r.stats.instructions, r.seconds(), overhead))
+        .map(|(_, r)| {
+            ctx.energy
+                .breakdown(vcc, r.stats.instructions, r.seconds(), overhead)
+        })
         .fold(lowvcc_energy::EnergyBreakdown::default(), |a, b| a + b)
 }
 
@@ -53,7 +57,7 @@ fn suite_energy(
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn run_sweep(ctx: &ExperimentContext) -> Result<Vec<SweepPoint>, String> {
+pub fn run_sweep(ctx: &ExperimentContext) -> Result<Vec<SweepPoint>, ExperimentError> {
     let iraw_overhead = IrawOverhead::silverthorne().dynamic_energy_factor();
     let mut points = Vec::new();
     for vcc in PAPER_SWEEP.iter() {
@@ -148,7 +152,7 @@ pub fn fig12_table(points: &[SweepPoint]) -> TextTable {
 
 /// Convenience: the sweep point at `mv`, if present.
 #[must_use]
-pub fn at<'a>(points: &'a [SweepPoint], mv: u32) -> Option<&'a SweepPoint> {
+pub fn at(points: &[SweepPoint], mv: u32) -> Option<&SweepPoint> {
     points.iter().find(|p| p.vcc.millivolts() == mv)
 }
 

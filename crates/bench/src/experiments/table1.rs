@@ -4,6 +4,7 @@ use lowvcc_baselines::{qualitative_table, quantitative_table};
 use lowvcc_sram::Millivolts;
 
 use crate::context::ExperimentContext;
+use crate::error::ExperimentError;
 use crate::report::{fnum, TextTable};
 
 fn yes_no(b: bool) -> String {
@@ -39,7 +40,7 @@ pub fn qualitative() -> TextTable {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn quantitative(ctx: &ExperimentContext) -> Result<TextTable, String> {
+pub fn quantitative(ctx: &ExperimentContext) -> Result<TextTable, ExperimentError> {
     let vcc = Millivolts::new(500).expect("500 mV on the grid");
     let rows = quantitative_table(ctx.core, &ctx.timing, vcc, &ctx.suite)?;
     let mut t = TextTable::new(vec![

@@ -15,13 +15,20 @@
 //! | T1 | [`experiments::table1`] | Table 1 — technique comparison |
 //! | S2 | [`experiments::stalls`] | §5.2 stall attribution at 575 mV |
 //! | S1/S3/S4 | [`experiments::scalars`] | §5.2/§4.5/§5.3 scalar results |
+//!
+//! Figure 11b and Figure 12 share one measurement (a single baseline-vs-
+//! IRAW sweep in [`experiments::sweep`]); their modules are thin aliases
+//! over it. Every fallible API returns the typed [`ExperimentError`].
+//! See the repository README for how to run the `experiments` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod context;
+pub mod error;
 pub mod experiments;
 pub mod report;
 
 pub use context::ExperimentContext;
+pub use error::ExperimentError;
 pub use report::TextTable;

@@ -12,6 +12,7 @@ use lowvcc_sram::{CycleTimeModel, Millivolts};
 use lowvcc_trace::Trace;
 
 use crate::config::{CoreConfig, Mechanism};
+use crate::error::SimError;
 use crate::perf::{compare_mechanisms, SuiteResult};
 
 /// Objective for the measured selection.
@@ -71,7 +72,7 @@ pub fn adapt_at(
     vcc: Millivolts,
     traces: &[Trace],
     goal: AdaptGoal,
-) -> Result<AdaptOutcome, String> {
+) -> Result<AdaptOutcome, SimError> {
     let cmp = compare_mechanisms(core, timing, vcc, traces)?;
     let iraw_overhead = IrawOverhead::silverthorne().dynamic_energy_factor();
 
@@ -110,8 +111,12 @@ mod tests {
 
     fn traces() -> Vec<Trace> {
         vec![
-            TraceSpec::new(WorkloadFamily::SpecInt, 0, 3_000).build().unwrap(),
-            TraceSpec::new(WorkloadFamily::Kernel, 1, 3_000).build().unwrap(),
+            TraceSpec::new(WorkloadFamily::SpecInt, 0, 3_000)
+                .build()
+                .unwrap(),
+            TraceSpec::new(WorkloadFamily::Kernel, 1, 3_000)
+                .build()
+                .unwrap(),
         ]
     }
 

@@ -4,6 +4,8 @@
 use lowvcc_sram::{CycleTimeModel, Millivolts, Picoseconds, TimingLimiter};
 use lowvcc_uarch::cache::CacheConfig;
 
+use crate::error::ConfigError;
+
 /// Static machine parameters (structure sizes, widths, latencies).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreConfig {
@@ -116,25 +118,34 @@ impl CoreConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid parameter.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`ConfigError`] describing the first invalid parameter.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.fetch_width == 0 || self.alloc_width == 0 || self.issue_width == 0 {
-            return Err("pipeline widths must be positive".into());
+            return Err(ConfigError::ZeroWidth);
         }
         if !self.iq_entries.is_power_of_two() {
-            return Err("IQ entries must be a power of two".into());
+            return Err(ConfigError::IqNotPowerOfTwo {
+                entries: self.iq_entries,
+            });
         }
-        self.il0.validate().map_err(|e| format!("IL0: {e}"))?;
-        self.dl0.validate().map_err(|e| format!("DL0: {e}"))?;
-        self.ul1.validate().map_err(|e| format!("UL1: {e}"))?;
+        for (which, cache) in [("IL0", &self.il0), ("DL0", &self.dl0), ("UL1", &self.ul1)] {
+            cache
+                .validate()
+                .map_err(|source| ConfigError::Cache { which, source })?;
+        }
         if self.scoreboard_width < self.bypass_levels + 2 {
-            return Err("scoreboard too narrow for the bypass+bubble bits".into());
+            return Err(ConfigError::ScoreboardMissingWindowBits {
+                width: self.scoreboard_width,
+                bypass_levels: self.bypass_levels,
+            });
         }
         if self.stable_max_entries == 0 {
-            return Err("store table needs at least one physical entry".into());
+            return Err(ConfigError::NoStoreTableEntries);
         }
         if self.memory_latency_ns <= 0.0 {
-            return Err("memory latency must be positive".into());
+            return Err(ConfigError::NonPositiveMemoryLatency {
+                latency_ns: self.memory_latency_ns,
+            });
         }
         Ok(())
     }
@@ -206,7 +217,12 @@ impl SimConfig {
     /// the calibrated timing model: cycle time from the limiter, `N` from
     /// the stabilization model (IRAW only).
     #[must_use]
-    pub fn at_vcc(core: CoreConfig, timing: &CycleTimeModel, vcc: Millivolts, mechanism: Mechanism) -> Self {
+    pub fn at_vcc(
+        core: CoreConfig,
+        timing: &CycleTimeModel,
+        vcc: Millivolts,
+        mechanism: Mechanism,
+    ) -> Self {
         let (limiter, n) = match mechanism {
             Mechanism::Baseline => (TimingLimiter::WriteLimited, 0),
             Mechanism::Iraw => (TimingLimiter::Iraw, timing.stabilization_cycles(vcc)),
@@ -241,10 +257,10 @@ impl SimConfig {
     /// # Errors
     ///
     /// Propagates [`CoreConfig::validate`] and checks the cycle time.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.core.validate()?;
         if self.cycle_time.picos() <= 0.0 {
-            return Err("cycle time must be positive".into());
+            return Err(ConfigError::NonPositiveCycleTime);
         }
         // Every short-latency producer pattern must fit the shift register
         // with a trailing ready bit: latency + bypass + N < width. Longer
@@ -259,13 +275,12 @@ impl SimConfig {
         if max_short + self.core.bypass_levels + self.stabilization_cycles
             >= self.core.scoreboard_width
         {
-            return Err(format!(
-                "scoreboard width {} too narrow for latency {} + bypass {} + N {}",
-                self.core.scoreboard_width,
-                max_short,
-                self.core.bypass_levels,
-                self.stabilization_cycles
-            ));
+            return Err(ConfigError::ScoreboardTooNarrow {
+                width: self.core.scoreboard_width,
+                max_latency: max_short,
+                bypass_levels: self.core.bypass_levels,
+                stabilization_cycles: self.stabilization_cycles,
+            });
         }
         Ok(())
     }

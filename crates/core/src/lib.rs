@@ -22,9 +22,9 @@
 //! use lowvcc_sram::{CycleTimeModel, Millivolts};
 //! use lowvcc_trace::{TraceSpec, WorkloadFamily};
 //!
-//! # fn main() -> Result<(), String> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let timing = CycleTimeModel::silverthorne_45nm();
-//! let vcc = Millivolts::new(500).map_err(|e| e.to_string())?;
+//! let vcc = Millivolts::new(500)?;
 //! let traces = vec![TraceSpec::new(WorkloadFamily::SpecInt, 0, 20_000).build()?];
 //! let cmp = compare_mechanisms(CoreConfig::silverthorne(), &timing, vcc, &traces)?;
 //! // The paper's headline: large speedup at 500 mV from the faster clock.
@@ -38,6 +38,7 @@
 
 pub mod adapt;
 pub mod config;
+pub mod error;
 pub mod iraw;
 pub mod perf;
 pub mod pipeline;
@@ -46,6 +47,7 @@ pub mod stats;
 
 pub use adapt::{adapt_at, AdaptGoal, AdaptOutcome};
 pub use config::{CoreConfig, Mechanism, SimConfig};
+pub use error::{ConfigError, SimError};
 pub use iraw::{IrawController, IrawSettings};
 pub use perf::{compare_mechanisms, run_suite, speedup, MechanismComparison, Speedup, SuiteResult};
 pub use sim::Simulator;

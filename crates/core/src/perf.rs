@@ -5,6 +5,7 @@ use lowvcc_sram::{CycleTimeModel, Millivolts};
 use lowvcc_trace::Trace;
 
 use crate::config::{CoreConfig, Mechanism, SimConfig};
+use crate::error::SimError;
 use crate::sim::Simulator;
 use crate::stats::SimResult;
 
@@ -74,7 +75,7 @@ pub struct Speedup {
 /// # Errors
 ///
 /// Propagates the first simulation error.
-pub fn run_suite(cfg: &SimConfig, traces: &[Trace]) -> Result<SuiteResult, String> {
+pub fn run_suite(cfg: &SimConfig, traces: &[Trace]) -> Result<SuiteResult, SimError> {
     let sim = Simulator::new(cfg.clone())?;
     let mut per_trace = Vec::with_capacity(traces.len());
     for t in traces {
@@ -134,7 +135,7 @@ pub fn compare_mechanisms(
     timing: &CycleTimeModel,
     vcc: Millivolts,
     traces: &[Trace],
-) -> Result<MechanismComparison, String> {
+) -> Result<MechanismComparison, SimError> {
     let base_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Baseline);
     let iraw_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Iraw);
     let baseline = run_suite(&base_cfg, traces)?;
@@ -185,13 +186,8 @@ mod tests {
     #[test]
     fn iraw_beats_baseline_at_low_vcc() {
         let timing = CycleTimeModel::silverthorne_45nm();
-        let cmp = compare_mechanisms(
-            CoreConfig::silverthorne(),
-            &timing,
-            mv(500),
-            &small_suite(),
-        )
-        .unwrap();
+        let cmp = compare_mechanisms(CoreConfig::silverthorne(), &timing, mv(500), &small_suite())
+            .unwrap();
         // The paper's central claim, in miniature: substantial speedup,
         // below the raw frequency gain (stalls + constant-time memory).
         assert!(
@@ -212,15 +208,13 @@ mod tests {
     #[test]
     fn geomean_close_to_total_time_for_equal_length_traces() {
         let timing = CycleTimeModel::silverthorne_45nm();
-        let cmp = compare_mechanisms(
-            CoreConfig::silverthorne(),
-            &timing,
-            mv(475),
-            &small_suite(),
-        )
-        .unwrap();
+        let cmp = compare_mechanisms(CoreConfig::silverthorne(), &timing, mv(475), &small_suite())
+            .unwrap();
         let diff = (cmp.speedup.total_time - cmp.speedup.geomean).abs();
-        assert!(diff < 0.3, "aggregates should roughly agree, diff {diff:.3}");
+        assert!(
+            diff < 0.3,
+            "aggregates should roughly agree, diff {diff:.3}"
+        );
     }
 
     #[test]

@@ -220,9 +220,7 @@ mod tests {
     }
 
     fn straight_line_trace(n: usize) -> Trace {
-        let uops = (0..n)
-            .map(|i| Uop::nop(0x40_0000 + 4 * i as u64))
-            .collect();
+        let uops = (0..n).map(|i| Uop::nop(0x40_0000 + 4 * i as u64)).collect();
         Trace::new("straight", uops)
     }
 
@@ -269,11 +267,9 @@ mod tests {
             uops.push(Uop::nop(0x40_0000));
         }
         let trace = Trace::new("loop", uops);
-        let mut now = 0u64;
-        for _ in 0..5000 {
+        for now in 0..5000u64 {
             fe.fetch_cycle(&trace, &mut mem, now);
             let _ = fe.take_decoded(2, now);
-            now += 1;
             if fe.trace_exhausted(&trace) {
                 break;
             }
@@ -309,11 +305,9 @@ mod tests {
             uops.push(Uop::nop(call_pc + 4));
         }
         let trace = Trace::new("callret", uops);
-        let mut now = 0u64;
-        for _ in 0..5000 {
+        for now in 0..5000u64 {
             fe.fetch_cycle(&trace, &mut mem, now);
             let _ = fe.take_decoded(2, now);
-            now += 1;
             if fe.trace_exhausted(&trace) {
                 break;
             }
@@ -322,7 +316,11 @@ mod tests {
         assert_eq!(s.calls, 20);
         assert_eq!(s.rets, 20);
         // After the cold call, returns predict perfectly via the RSB.
-        assert!(s.ret_mispredicts <= 1, "ret mispredicts {}", s.ret_mispredicts);
+        assert!(
+            s.ret_mispredicts <= 1,
+            "ret mispredicts {}",
+            s.ret_mispredicts
+        );
     }
 
     #[test]

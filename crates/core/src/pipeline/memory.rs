@@ -14,6 +14,7 @@ use lowvcc_uarch::cache::SetAssocCache;
 use lowvcc_uarch::tlb::Tlb;
 
 use crate::config::SimConfig;
+use crate::error::ConfigError;
 
 /// Outcome of a data-side access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,10 +60,11 @@ impl MemHierarchy {
     /// # Errors
     ///
     /// Propagates cache-geometry validation failures.
-    pub fn new(cfg: &SimConfig) -> Result<Self, String> {
-        let mut il0 = SetAssocCache::new(cfg.core.il0)?;
-        let mut dl0 = SetAssocCache::new(cfg.core.dl0)?;
-        let mut ul1 = SetAssocCache::new(cfg.core.ul1)?;
+    pub fn new(cfg: &SimConfig) -> Result<Self, ConfigError> {
+        let cache = |which| move |source| ConfigError::Cache { which, source };
+        let mut il0 = SetAssocCache::new(cfg.core.il0).map_err(cache("IL0"))?;
+        let mut dl0 = SetAssocCache::new(cfg.core.dl0).map_err(cache("DL0"))?;
+        let mut ul1 = SetAssocCache::new(cfg.core.ul1).map_err(cache("UL1"))?;
         let (dis_il0, dis_dl0, dis_ul1) = cfg.disabled_lines;
         if dis_il0 + dis_dl0 + dis_ul1 > 0 {
             let mut rng = SimRng::seed_from(cfg.fault_seed);
@@ -282,14 +284,11 @@ impl MemHierarchy {
         };
         let _ = self.fb.allocate(line, arrival);
         if pending.is_none() {
-            match self.dl0.fill(line) {
-                Ok(evicted) => {
-                    self.dl0_guard.on_fill(arrival);
-                    if let Some(victim) = evicted {
-                        self.spill_to_wcb(victim, arrival);
-                    }
+            if let Ok(evicted) = self.dl0.fill(line) {
+                self.dl0_guard.on_fill(arrival);
+                if let Some(victim) = evicted {
+                    self.spill_to_wcb(victim, arrival);
                 }
-                Err(()) => {}
             }
         }
         DataOutcome {

@@ -23,6 +23,7 @@ use lowvcc_uarch::scoreboard::{IrawWindow, Scoreboard};
 use lowvcc_uarch::stable::{StableMatch, StoreTable, TrackedStore};
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::pipeline::frontend::FrontEnd;
 use crate::pipeline::memory::MemHierarchy;
 use crate::stats::{SimResult, SimStats};
@@ -115,7 +116,7 @@ impl<'t> Engine<'t> {
     /// # Errors
     ///
     /// Propagates configuration validation failures.
-    pub fn new(cfg: SimConfig, trace: &'t Trace) -> Result<Self, String> {
+    pub fn new(cfg: SimConfig, trace: &'t Trace) -> Result<Self, SimError> {
         cfg.validate()?;
         let mem = MemHierarchy::new(&cfg)?;
         let fe = FrontEnd::new(&cfg);
@@ -146,7 +147,7 @@ impl<'t> Engine<'t> {
     }
 
     fn window(&self) -> Option<IrawWindow> {
-        (self.cfg.stabilization_cycles > 0).then(|| IrawWindow {
+        (self.cfg.stabilization_cycles > 0).then_some(IrawWindow {
             bypass_levels: self.cfg.core.bypass_levels,
             bubble: self.cfg.stabilization_cycles,
         })
@@ -158,16 +159,15 @@ impl<'t> Engine<'t> {
     ///
     /// Returns an error on invalid configuration or if the pipeline stops
     /// making progress (a simulator bug, surfaced rather than hung).
-    pub fn run(mut self) -> Result<SimResult, String> {
+    pub fn run(mut self) -> Result<SimResult, SimError> {
         let budget = 1_000 * self.trace.len() as u64 + 100_000;
         while !self.finished() {
             if self.now > budget {
-                return Err(format!(
-                    "no forward progress after {} cycles ({} of {} uops committed)",
-                    self.now,
-                    self.stats.instructions,
-                    self.trace.len()
-                ));
+                return Err(SimError::NoProgress {
+                    cycles: self.now,
+                    committed: self.stats.instructions,
+                    total: self.trace.len() as u64,
+                });
             }
             self.step();
         }
@@ -521,7 +521,10 @@ mod tests {
             .run()
             .unwrap();
         let ipc = result.stats.ipc();
-        assert!(ipc > 1.5, "2-wide independent ALUs should near 2 IPC, got {ipc:.2}");
+        assert!(
+            ipc > 1.5,
+            "2-wide independent ALUs should near 2 IPC, got {ipc:.2}"
+        );
     }
 
     #[test]
@@ -532,7 +535,10 @@ mod tests {
             .run()
             .unwrap();
         let ipc = result.stats.ipc();
-        assert!(ipc < 1.1, "back-to-back chain can't dual-issue, got {ipc:.2}");
+        assert!(
+            ipc < 1.1,
+            "back-to-back chain can't dual-issue, got {ipc:.2}"
+        );
     }
 
     #[test]
@@ -606,8 +612,20 @@ mod tests {
         // address, repeatedly.
         for i in 0..200u64 {
             let addr = 0x10_0000 + (i % 4) * 8;
-            uops.push(Uop::store(loop_pc(2 * i as usize), Some(reg(0)), None, addr, 8));
-            uops.push(Uop::load(loop_pc(2 * i as usize + 1), reg(17), None, addr, 8));
+            uops.push(Uop::store(
+                loop_pc(2 * i as usize),
+                Some(reg(0)),
+                None,
+                addr,
+                8,
+            ));
+            uops.push(Uop::load(
+                loop_pc(2 * i as usize + 1),
+                reg(17),
+                None,
+                addr,
+                8,
+            ));
         }
         let trace = Trace::new("stld", uops);
         let iraw = Engine::new(cfg(Mechanism::Iraw, 500), &trace)
@@ -649,7 +667,12 @@ mod tests {
             Uop::alu(loop_pc(1), Some(reg(21)), Some(reg(20)), None),
         ];
         for i in 0..20u64 {
-            uops.push(Uop::alu(loop_pc(2 + i as usize), Some(reg(22)), Some(reg(0)), None));
+            uops.push(Uop::alu(
+                loop_pc(2 + i as usize),
+                Some(reg(22)),
+                Some(reg(0)),
+                None,
+            ));
         }
         let trace = Trace::new("div", uops);
         let result = Engine::new(cfg(Mechanism::Baseline, 600), &trace)

@@ -3,6 +3,7 @@
 use lowvcc_trace::Trace;
 
 use crate::config::SimConfig;
+use crate::error::{ConfigError, SimError};
 use crate::pipeline::Engine;
 use crate::stats::SimResult;
 
@@ -13,9 +14,9 @@ use crate::stats::SimResult;
 /// use lowvcc_sram::{CycleTimeModel, Millivolts};
 /// use lowvcc_trace::{TraceSpec, WorkloadFamily};
 ///
-/// # fn main() -> Result<(), String> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let timing = CycleTimeModel::silverthorne_45nm();
-/// let vcc = Millivolts::new(500).map_err(|e| e.to_string())?;
+/// let vcc = Millivolts::new(500)?;
 /// let cfg = SimConfig::at_vcc(CoreConfig::silverthorne(), &timing, vcc, Mechanism::Iraw);
 /// let sim = Simulator::new(cfg)?;
 /// let trace = TraceSpec::new(WorkloadFamily::Kernel, 0, 2_000).build()?;
@@ -35,7 +36,7 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns the first configuration problem found.
-    pub fn new(cfg: SimConfig) -> Result<Self, String> {
+    pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         Ok(Self { cfg })
     }
@@ -50,9 +51,9 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns an error if the engine detects a live-lock (a simulator
-    /// bug surfaced rather than a hang).
-    pub fn run(&self, trace: &Trace) -> Result<SimResult, String> {
+    /// Returns [`SimError::NoProgress`] if the engine detects a live-lock
+    /// (a simulator bug surfaced rather than a hang).
+    pub fn run(&self, trace: &Trace) -> Result<SimResult, SimError> {
         Engine::new(self.cfg.clone(), trace)?.run()
     }
 }

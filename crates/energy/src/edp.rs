@@ -301,7 +301,10 @@ mod tests {
 
     #[test]
     fn edp_is_energy_times_delay() {
-        let p = EdpPoint::new(2.0, EnergyBreakdown::new(Joules::new(3.0), Joules::new(1.0)));
+        let p = EdpPoint::new(
+            2.0,
+            EnergyBreakdown::new(Joules::new(3.0), Joules::new(1.0)),
+        );
         assert_eq!(p.edp(), 8.0);
         assert_eq!(p.delay_seconds(), 2.0);
         assert_eq!(p.energy().total().joules(), 4.0);

@@ -28,7 +28,10 @@ impl fmt::Display for InterpError {
         match self {
             Self::TooFewKnots => write!(f, "interpolation needs at least two knots"),
             Self::NonIncreasingX { index } => {
-                write!(f, "knot x-coordinates must strictly increase (index {index})")
+                write!(
+                    f,
+                    "knot x-coordinates must strictly increase (index {index})"
+                )
             }
             Self::NonFinite => write!(f, "knot coordinates must be finite"),
         }

@@ -84,7 +84,10 @@ impl EnergyModel {
     /// Panics if `epi_at_600mv` or `reference_cpi` is not positive.
     #[must_use]
     pub fn calibrated(epi_at_600mv: Joules, reference_cpi: f64, timing: &CycleTimeModel) -> Self {
-        assert!(epi_at_600mv.joules() > 0.0, "energy per instruction must be positive");
+        assert!(
+            epi_at_600mv.joules() > 0.0,
+            "energy per instruction must be positive"
+        );
         assert!(reference_cpi > 0.0, "reference CPI must be positive");
         let v600 = Millivolts::new(600).expect("600 mV in range");
         let time_per_instr = reference_cpi * timing.baseline_cycle(v600).seconds();
@@ -138,7 +141,10 @@ impl EnergyModel {
         seconds: f64,
         dynamic_overhead: f64,
     ) -> EdpPoint {
-        EdpPoint::new(seconds, self.breakdown(v, instructions, seconds, dynamic_overhead))
+        EdpPoint::new(
+            seconds,
+            self.breakdown(v, instructions, seconds, dynamic_overhead),
+        )
     }
 }
 
@@ -162,10 +168,10 @@ mod tests {
     fn baseline_leak_fraction(m: &EnergyModel, v: Millivolts) -> f64 {
         let timing = CycleTimeModel::silverthorne_45nm();
         let instructions = 1_000_000u64;
-        let seconds = instructions as f64
-            * EnergyModel::REFERENCE_CPI
-            * timing.baseline_cycle(v).seconds();
-        m.breakdown(v, instructions, seconds, 1.0).leakage_fraction()
+        let seconds =
+            instructions as f64 * EnergyModel::REFERENCE_CPI * timing.baseline_cycle(v).seconds();
+        m.breakdown(v, instructions, seconds, 1.0)
+            .leakage_fraction()
     }
 
     #[test]
@@ -255,10 +261,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "energy per instruction")]
     fn rejects_nonpositive_epi() {
-        let _ = EnergyModel::calibrated(
-            Joules::new(0.0),
-            1.4,
-            &CycleTimeModel::silverthorne_45nm(),
-        );
+        let _ =
+            EnergyModel::calibrated(Joules::new(0.0), 1.4, &CycleTimeModel::silverthorne_45nm());
     }
 }

@@ -241,7 +241,10 @@ mod tests {
     #[test]
     fn fault_map_bits_scale_with_levels() {
         let mut fb = FaultyBitsOverhead::silverthorne();
-        let one = FaultyBitsOverhead { vcc_levels: 1, ..fb };
+        let one = FaultyBitsOverhead {
+            vcc_levels: 1,
+            ..fb
+        };
         fb.vcc_levels = 4;
         assert_eq!(fb.total_bits(), 4 * one.total_bits());
     }

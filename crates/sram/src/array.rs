@@ -198,7 +198,10 @@ pub fn silverthorne_blocks() -> Vec<SramArray> {
 /// area-overhead percentages).
 #[must_use]
 pub fn total_core_sram_bits() -> u64 {
-    silverthorne_blocks().iter().map(SramArray::total_bits).sum()
+    silverthorne_blocks()
+        .iter()
+        .map(SramArray::total_bits)
+        .sum()
 }
 
 #[cfg(test)]

@@ -205,11 +205,7 @@ impl EkvSigmaModel {
         let vth = self.vth_nominal_mv + sigma * self.sigma_mv;
         let u = (v_mv - vth) / self.two_n_phi_t_mv;
         // Numerically stable softplus.
-        let softplus = if u > 30.0 {
-            u
-        } else {
-            u.exp().ln_1p()
-        };
+        let softplus = if u > 30.0 { u } else { u.exp().ln_1p() };
         let current = softplus * softplus;
         v_mv / current
     }
@@ -271,7 +267,10 @@ mod tests {
         for v in (400..=700).step_by(25) {
             let read = c.read_delay(mv(v));
             let phase = c.logic().phase_delay(mv(v));
-            assert!(read.picos() < phase.picos(), "read must not limit the cycle");
+            assert!(
+                read.picos() < phase.picos(),
+                "read must not limit the cycle"
+            );
         }
     }
 

@@ -72,7 +72,10 @@ impl Picoseconds {
     /// Panics if the duration is not strictly positive.
     #[must_use]
     pub fn as_frequency(self) -> Megahertz {
-        assert!(self.0 > 0.0, "cannot convert non-positive duration to frequency");
+        assert!(
+            self.0 > 0.0,
+            "cannot convert non-positive duration to frequency"
+        );
         Megahertz(1e6 / self.0)
     }
 }

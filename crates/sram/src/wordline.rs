@@ -145,8 +145,8 @@ impl WordlineModel {
     #[must_use]
     pub fn kappa(&self) -> f64 {
         let reference = ArrayGeometry::paper_reference();
-        let decode = f64::from(self.geometry.entries()).log2()
-            / f64::from(reference.entries()).log2();
+        let decode =
+            f64::from(self.geometry.entries()).log2() / f64::from(reference.entries()).log2();
         let segment = f64::from(self.geometry.bits_per_wl_segment())
             / f64::from(reference.bits_per_wl_segment());
         // 70% decoder-depth term + 30% segment-RC term; both 1.0 at the

@@ -7,6 +7,7 @@
 //! mix, code footprint, memory locality, branch predictability) are set to
 //! the behaviour class the paper's suite names imply.
 
+use crate::error::TraceError;
 use crate::synth::{Generator, MemMix, MixWeights, SynthParams};
 use crate::uop::Trace;
 
@@ -346,7 +347,7 @@ impl TraceSpec {
     /// # Errors
     ///
     /// Propagates parameter-validation errors (family presets never fail).
-    pub fn build(&self) -> Result<Trace, String> {
+    pub fn build(&self) -> Result<Trace, TraceError> {
         let mut generator = Generator::new(&self.family.params(), self.seed)?;
         Ok(generator.generate(self.name(), self.len))
     }
@@ -377,13 +378,7 @@ pub fn default_suite() -> Vec<TraceSpec> {
 pub fn paper_scale_suite() -> Vec<TraceSpec> {
     let families = WorkloadFamily::all();
     (0..531u64)
-        .map(|i| {
-            TraceSpec::new(
-                families[(i % 7) as usize],
-                i / 7,
-                10_000_000,
-            )
-        })
+        .map(|i| TraceSpec::new(families[(i % 7) as usize], i / 7, 10_000_000))
         .collect()
 }
 

@@ -14,7 +14,7 @@
 //! let trace = TraceSpec::new(WorkloadFamily::SpecInt, 0, 10_000).build()?;
 //! let stats = TraceStats::analyze(&trace);
 //! assert!(stats.control_fraction() > 0.05); // branchy integer code
-//! # Ok::<(), String>(())
+//! # Ok::<(), lowvcc_trace::TraceError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -22,6 +22,7 @@
 
 pub mod addr;
 pub mod dist;
+pub mod error;
 pub mod families;
 pub mod rng;
 pub mod schedule;
@@ -29,6 +30,7 @@ pub mod stats;
 pub mod synth;
 pub mod uop;
 
+pub use error::{TraceError, UopError};
 pub use families::{default_suite, paper_scale_suite, suite, TraceSpec, WorkloadFamily};
 pub use rng::SimRng;
 pub use schedule::{schedule_trace, verify_reorder, ScheduleConfig, ScheduleStats};

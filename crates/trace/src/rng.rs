@@ -86,8 +86,8 @@ impl SimRng {
         assert!(bound > 0, "bound must be positive");
         // 128-bit multiply-shift (Lemire); bias is negligible for the
         // simulation's purposes and the method is branch-free.
-        let hi = ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64;
-        hi
+
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// Bernoulli trial with probability `p` (clamped to \[0, 1\]).

@@ -134,8 +134,7 @@ pub fn schedule_trace(trace: &Trace, cfg: ScheduleConfig) -> (Trace, ScheduleSta
         // Pick the first candidate that (a) may be hoisted over everything
         // before it in the window, and (b) has all source distances clear.
         let mut chosen = 0usize;
-        if !distance_ok(&front, out.len(), &last_write, cfg.min_distance)
-            && !is_barrier(front.kind)
+        if !distance_ok(&front, out.len(), &last_write, cfg.min_distance) && !is_barrier(front.kind)
         {
             'candidates: for (i, cand) in pending.iter().enumerate().skip(1) {
                 if !distance_ok(cand, out.len(), &last_write, cfg.min_distance) {
@@ -224,7 +223,7 @@ pub fn verify_reorder(original: &Trace, scheduled: &Trace) -> Result<(), Reorder
     for (i, u) in scheduled.uops.iter().enumerate() {
         let k = key(u);
         positions
-            .entry((k.0, k.1, k.2, k.3 as u8))
+            .entry((k.0, k.1, k.2, k.3))
             .or_default()
             .push_back(i);
     }
@@ -232,7 +231,7 @@ pub fn verify_reorder(original: &Trace, scheduled: &Trace) -> Result<(), Reorder
     for u in &original.uops {
         let k = key(u);
         let pos = positions
-            .get_mut(&(k.0, k.1, k.2, k.3 as u8))
+            .get_mut(&(k.0, k.1, k.2, k.3))
             .and_then(VecDeque::pop_front)
             .ok_or(ReorderError::NotAPermutation)?;
         mapped.push(pos);
@@ -243,7 +242,10 @@ pub fn verify_reorder(original: &Trace, scheduled: &Trace) -> Result<(), Reorder
             let (a, b) = (&original.uops[i], &original.uops[j]);
             if !may_swap(a, b) && mapped[i] > mapped[j] {
                 let err_idx = mapped[j];
-                return if a.kind.is_mem() || b.kind.is_mem() || is_barrier(a.kind) || is_barrier(b.kind)
+                return if a.kind.is_mem()
+                    || b.kind.is_mem()
+                    || is_barrier(a.kind)
+                    || is_barrier(b.kind)
                 {
                     Err(ReorderError::OrderViolated(err_idx))
                 } else {
@@ -277,16 +279,18 @@ mod tests {
             Uop::alu(0x14, Some(r(21)), Some(r(4)), None),
         ];
         let t = Trace::new("short", uops);
-        let (s, stats) = schedule_trace(&t, ScheduleConfig { min_distance: 3, window: 6 });
+        let (s, stats) = schedule_trace(
+            &t,
+            ScheduleConfig {
+                min_distance: 3,
+                window: 6,
+            },
+        );
         verify_reorder(&t, &s).unwrap();
         assert!(stats.hoisted > 0, "independents should be hoisted");
         // The consumer of r16 now sits at distance ≥ 3.
         let prod = s.uops.iter().position(|u| u.dst == Some(r(16))).unwrap();
-        let cons = s
-            .uops
-            .iter()
-            .position(|u| u.src1 == Some(r(16)))
-            .unwrap();
+        let cons = s.uops.iter().position(|u| u.src1 == Some(r(16))).unwrap();
         assert!(cons - prod >= 3, "distance {} too short", cons - prod);
     }
 
@@ -308,7 +312,13 @@ mod tests {
             Uop::alu(0x08, Some(r(17)), Some(r(16)), None),
         ];
         let t = Trace::new("ctl", uops.clone());
-        let (s, _) = schedule_trace(&t, ScheduleConfig { min_distance: 8, window: 4 });
+        let (s, _) = schedule_trace(
+            &t,
+            ScheduleConfig {
+                min_distance: 8,
+                window: 4,
+            },
+        );
         // Nothing can move: order unchanged.
         assert_eq!(s.uops, uops);
     }
@@ -322,17 +332,29 @@ mod tests {
             Uop::load(0x0c, r(21), None, 0x1000, 8),
         ];
         let t = Trace::new("mem", uops);
-        let (s, _) = schedule_trace(&t, ScheduleConfig { min_distance: 4, window: 4 });
+        let (s, _) = schedule_trace(
+            &t,
+            ScheduleConfig {
+                min_distance: 4,
+                window: 4,
+            },
+        );
         verify_reorder(&t, &s).unwrap();
         // The load must still follow the store.
-        let st = s.uops.iter().position(|u| u.kind == UopKind::Store).unwrap();
+        let st = s
+            .uops
+            .iter()
+            .position(|u| u.kind == UopKind::Store)
+            .unwrap();
         let ld = s.uops.iter().position(|u| u.kind == UopKind::Load).unwrap();
         assert!(st < ld);
     }
 
     #[test]
     fn scheduling_is_deterministic_and_idempotent_on_schedulable_code() {
-        let t = TraceSpec::new(WorkloadFamily::SpecInt, 21, 3_000).build().unwrap();
+        let t = TraceSpec::new(WorkloadFamily::SpecInt, 21, 3_000)
+            .build()
+            .unwrap();
         let cfg = ScheduleConfig::silverthorne_iraw();
         let (a, _) = schedule_trace(&t, cfg);
         let (b, _) = schedule_trace(&t, cfg);

@@ -16,6 +16,7 @@
 
 use crate::addr::{AddressModel, HEAP_BASE};
 use crate::dist::{Discrete, Geometric};
+use crate::error::TraceError;
 use crate::rng::SimRng;
 use crate::uop::{Reg, Trace, Uop, UopKind};
 
@@ -55,7 +56,7 @@ impl MixWeights {
         UopKind::Nop,
     ];
 
-    fn as_discrete(&self) -> Result<Discrete, String> {
+    fn as_discrete(&self) -> Result<Discrete, TraceError> {
         Discrete::new(&[
             self.alu,
             self.mul,
@@ -67,7 +68,10 @@ impl MixWeights {
             self.store,
             self.nop,
         ])
-        .map_err(|e| format!("instruction mix: {e}"))
+        .map_err(|source| TraceError::Weights {
+            which: "instruction mix",
+            source,
+        })
     }
 }
 
@@ -105,9 +109,13 @@ impl MemMix {
         RegionClass::Zipf,
     ];
 
-    fn as_discrete(&self) -> Result<Discrete, String> {
-        Discrete::new(&[self.stack, self.stream, self.chase, self.zipf])
-            .map_err(|e| format!("memory mix: {e}"))
+    fn as_discrete(&self) -> Result<Discrete, TraceError> {
+        Discrete::new(&[self.stack, self.stream, self.chase, self.zipf]).map_err(|source| {
+            TraceError::Weights {
+                which: "memory mix",
+                source,
+            }
+        })
     }
 }
 
@@ -160,36 +168,70 @@ impl SynthParams {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid parameter.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`TraceError`] describing the first invalid parameter.
+    pub fn validate(&self) -> Result<(), TraceError> {
         self.mix.as_discrete()?;
         self.mem_mix.as_discrete()?;
         if !(0.0 < self.dep_p && self.dep_p <= 1.0) {
-            return Err(format!("dep_p {} outside (0, 1]", self.dep_p));
+            return Err(TraceError::OutOfRange {
+                name: "dep_p",
+                value: self.dep_p,
+                expected: "(0, 1]",
+            });
         }
         if !(0.0..=1.0).contains(&self.two_source_fraction) {
-            return Err("two_source_fraction outside [0, 1]".into());
+            return Err(TraceError::OutOfRange {
+                name: "two_source_fraction",
+                value: self.two_source_fraction,
+                expected: "[0, 1]",
+            });
         }
         if self.functions == 0 {
-            return Err("need at least one function".into());
+            return Err(TraceError::OutOfRange {
+                name: "functions",
+                value: 0.0,
+                expected: "at least 1",
+            });
         }
-        if self.blocks_per_function.0 == 0 || self.blocks_per_function.0 > self.blocks_per_function.1
+        if self.blocks_per_function.0 == 0
+            || self.blocks_per_function.0 > self.blocks_per_function.1
         {
-            return Err("invalid blocks_per_function range".into());
+            return Err(TraceError::InvalidRange {
+                name: "blocks_per_function",
+                lo: self.blocks_per_function.0,
+                hi: self.blocks_per_function.1,
+            });
         }
         if self.block_len.0 == 0 || self.block_len.0 > self.block_len.1 {
-            return Err("invalid block_len range".into());
+            return Err(TraceError::InvalidRange {
+                name: "block_len",
+                lo: self.block_len.0,
+                hi: self.block_len.1,
+            });
         }
-        for p in [self.loop_fraction, self.call_fraction] {
+        for (name, p) in [
+            ("loop_fraction", self.loop_fraction),
+            ("call_fraction", self.call_fraction),
+        ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("fraction {p} outside [0, 1]"));
+                return Err(TraceError::OutOfRange {
+                    name,
+                    value: p,
+                    expected: "[0, 1]",
+                });
             }
         }
         if self.mean_loop_trips < 1.0 {
-            return Err("mean_loop_trips must be ≥ 1".into());
+            return Err(TraceError::OutOfRange {
+                name: "mean_loop_trips",
+                value: self.mean_loop_trips,
+                expected: "[1, ∞)",
+            });
         }
         if self.branch_biases.is_empty() {
-            return Err("need at least one branch bias".into());
+            return Err(TraceError::Empty {
+                name: "branch_biases",
+            });
         }
         Ok(())
     }
@@ -238,7 +280,7 @@ struct Program {
 pub const CODE_BASE: u64 = 0x0000_0040_0000;
 
 impl Program {
-    fn build(params: &SynthParams, rng: &mut SimRng) -> Result<Self, String> {
+    fn build(params: &SynthParams, rng: &mut SimRng) -> Result<Self, TraceError> {
         let mix = params.mix.as_discrete()?;
         let mem_mix = params.mem_mix.as_discrete()?;
         let bias_dist = Discrete::new(
@@ -248,7 +290,10 @@ impl Program {
                 .map(|&(_, w)| w)
                 .collect::<Vec<_>>(),
         )
-        .map_err(|e| format!("branch biases: {e}"))?;
+        .map_err(|source| TraceError::Weights {
+            which: "branch biases",
+            source,
+        })?;
 
         let mut blocks = Vec::new();
         let mut functions = Vec::new();
@@ -265,9 +310,7 @@ impl Program {
                 let insts: Vec<StaticInst> = (0..body_len)
                     .map(|_| {
                         let kind = MixWeights::KINDS[mix.sample(rng)];
-                        let region = kind
-                            .is_mem()
-                            .then(|| MemMix::CLASSES[mem_mix.sample(rng)]);
+                        let region = kind.is_mem().then(|| MemMix::CLASSES[mem_mix.sample(rng)]);
                         StaticInst { kind, region }
                     })
                     .collect();
@@ -322,7 +365,7 @@ impl Program {
 /// let trace = generator.generate("demo", 10_000);
 /// assert_eq!(trace.len(), 10_000);
 /// trace.validate().expect("generated traces are well-formed");
-/// # Ok::<(), String>(())
+/// # Ok::<(), lowvcc_trace::TraceError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Generator {
@@ -354,12 +397,16 @@ impl Generator {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid parameter.
-    pub fn new(params: &SynthParams, seed: u64) -> Result<Self, String> {
+    /// Returns a [`TraceError`] describing the first invalid parameter.
+    pub fn new(params: &SynthParams, seed: u64) -> Result<Self, TraceError> {
         params.validate()?;
         let mut rng = SimRng::seed_from(seed);
         let program = Program::build(params, &mut rng)?;
-        let dep = Geometric::new(params.dep_p).map_err(|e| e.to_string())?;
+        let dep = Geometric::new(params.dep_p).map_err(|_| TraceError::OutOfRange {
+            name: "dep_p",
+            value: params.dep_p,
+            expected: "(0, 1]",
+        })?;
         Ok(Self {
             stack_model: AddressModel::stack_frame(params.stack_slots),
             stream_model: AddressModel::strided(
@@ -535,8 +582,8 @@ impl Generator {
                 }
             }
             Terminator::Call { callee } => {
-                let callee_pc = self.program.blocks[self.program.functions[callee].first_block]
-                    .entry_pc;
+                let callee_pc =
+                    self.program.blocks[self.program.functions[callee].first_block].entry_pc;
                 let mut u = Uop::alu(term_pc, None, None, None);
                 u.kind = UopKind::Call;
                 u.taken = true;
@@ -567,9 +614,8 @@ impl Generator {
                     // spreads dynamic coverage over the whole static
                     // footprint.
                     let next = self.rng.below(self.program.functions.len() as u64) as usize;
-                    let entry = self.program.blocks
-                        [self.program.functions[next].first_block]
-                        .entry_pc;
+                    let entry =
+                        self.program.blocks[self.program.functions[next].first_block].entry_pc;
                     out.push(Uop::branch(term_pc, None, true, entry));
                     self.func = next;
                     self.block = 0;
@@ -589,7 +635,7 @@ pub fn generate_trace(
     seed: u64,
     len: usize,
     name: impl Into<String>,
-) -> Result<Trace, String> {
+) -> Result<Trace, TraceError> {
     let mut generator = Generator::new(params, seed)?;
     Ok(generator.generate(name, len))
 }

@@ -7,8 +7,9 @@
 //! cache hierarchy), and branch outcome/target (for the predictors) — but
 //! no data values.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
+
+use crate::error::{TraceError, UopError};
 
 /// Number of architectural registers tracked by the scoreboard
 /// (integer + floating-point/SIMD logical registers of the in-order core).
@@ -24,7 +25,7 @@ pub const NUM_REGS: u8 = 64;
 /// assert!(Reg::new(200).is_err());
 /// # Ok::<(), lowvcc_trace::RegError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
 
 /// Error constructing a [`Reg`] out of range.
@@ -36,7 +37,11 @@ pub struct RegError {
 
 impl fmt::Display for RegError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "register index {} out of range 0..{NUM_REGS}", self.index)
+        write!(
+            f,
+            "register index {} out of range 0..{NUM_REGS}",
+            self.index
+        )
     }
 }
 
@@ -75,7 +80,7 @@ impl fmt::Display for Reg {
 }
 
 /// Operation classes, mirroring the execution units of the in-order core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UopKind {
     /// Single-cycle integer ALU operation.
     IntAlu,
@@ -165,7 +170,7 @@ impl fmt::Display for UopKind {
 }
 
 /// One dynamic micro-operation of a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Uop {
     /// Program counter of this uop.
     pub pc: u64,
@@ -284,28 +289,37 @@ impl Uop {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency found (memory uop
-    /// without an address, control uop without a target, or a non-memory
-    /// uop carrying an address).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first inconsistency found (memory uop without an
+    /// address, control uop without a target, or a non-memory uop carrying
+    /// an address).
+    pub fn validate(&self) -> Result<(), UopError> {
         if self.kind.is_mem() && self.addr.is_none() {
-            return Err(format!("{} at {:#x} lacks an address", self.kind, self.pc));
+            return Err(UopError::MissingAddress {
+                kind: self.kind,
+                pc: self.pc,
+            });
         }
         if !self.kind.is_mem() && self.addr.is_some() {
-            return Err(format!("{} at {:#x} carries an address", self.kind, self.pc));
+            return Err(UopError::UnexpectedAddress {
+                kind: self.kind,
+                pc: self.pc,
+            });
         }
         if self.kind.is_control() && self.taken && self.target == 0 {
-            return Err(format!("{} at {:#x} lacks a target", self.kind, self.pc));
+            return Err(UopError::MissingTarget {
+                kind: self.kind,
+                pc: self.pc,
+            });
         }
         if self.kind == UopKind::Load && self.dst.is_none() {
-            return Err(format!("load at {:#x} lacks a destination", self.pc));
+            return Err(UopError::MissingDestination { pc: self.pc });
         }
         Ok(())
     }
 }
 
 /// A named instruction trace: the unit of workload the simulator replays.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Human-readable name (family + seed).
     pub name: String,
@@ -339,10 +353,12 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Returns the first invalid uop's description and index.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`TraceError::Uop`] carrying the first invalid uop's index
+    /// and defect.
+    pub fn validate(&self) -> Result<(), TraceError> {
         for (i, u) in self.uops.iter().enumerate() {
-            u.validate().map_err(|e| format!("uop {i}: {e}"))?;
+            u.validate()
+                .map_err(|source| TraceError::Uop { index: i, source })?;
         }
         Ok(())
     }
@@ -433,7 +449,17 @@ mod tests {
         bad.addr = None;
         let t = Trace::new("t", vec![Uop::nop(0), bad]);
         let err = t.validate().unwrap_err();
-        assert!(err.starts_with("uop 1:"), "{err}");
+        assert!(
+            matches!(
+                err,
+                TraceError::Uop {
+                    index: 1,
+                    source: UopError::MissingAddress { .. }
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().starts_with("uop 1:"), "{err}");
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
     }

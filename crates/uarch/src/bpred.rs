@@ -142,8 +142,8 @@ impl BranchPredictor for Gshare {
         let old = self.counters[idx];
         let new = saturating_update(old, taken);
         self.counters[idx] = new;
-        self.history = ((self.history << 1) | usize::from(taken))
-            & ((1usize << self.history_bits) - 1);
+        self.history =
+            ((self.history << 1) | usize::from(taken)) & ((1usize << self.history_bits) - 1);
         UpdateEffect {
             index: idx,
             msb_flipped: (old >= 2) != (new >= 2),
@@ -239,7 +239,8 @@ impl CorruptionTracker {
     pub fn on_read(&mut self, index: usize, cycle: u64) -> bool {
         self.reads += 1;
         let last = self.last_flip_write[index];
-        let conflict = last != u64::MAX && cycle.saturating_sub(last) <= self.window && cycle != last;
+        let conflict =
+            last != u64::MAX && cycle.saturating_sub(last) <= self.window && cycle != last;
         if conflict {
             self.potential += 1;
         }

@@ -98,12 +98,7 @@ impl TimedBuffer {
     ///
     /// Returns [`BufferFull`] when no slot is free.
     pub fn allocate(&mut self, line: u64, ready_at: u64) -> Result<(), BufferFull> {
-        if let Some(slot) = self
-            .slots
-            .iter_mut()
-            .flatten()
-            .find(|(l, _)| *l == line)
-        {
+        if let Some(slot) = self.slots.iter_mut().flatten().find(|(l, _)| *l == line) {
             slot.1 = slot.1.min(ready_at);
             return Ok(());
         }

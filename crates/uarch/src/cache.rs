@@ -9,9 +9,39 @@
 //! (`addr >> 6`); whether a fill stalls subsequent accesses for IRAW
 //! stabilization is the pipeline's business (see `lowvcc-core`).
 
+use std::fmt;
+
 use lowvcc_trace::SimRng;
 
 use crate::replacement::{Policy, PolicyState, WayView};
+
+/// Error validating a [`CacheConfig`] geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// Capacity, way count or line size is zero.
+    ZeroDimension,
+    /// Capacity is not an exact multiple of `ways × line_bytes`.
+    Indivisible,
+    /// The derived set count is not a power of two.
+    SetsNotPowerOfTwo {
+        /// The offending set count.
+        sets: usize,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroDimension => f.write_str("cache dimensions must be positive"),
+            Self::Indivisible => f.write_str("capacity must divide into ways × line size"),
+            Self::SetsNotPowerOfTwo { sets } => {
+                write!(f, "set count {sets} must be a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
 
 /// Geometry and policy of a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,18 +67,18 @@ impl CacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description when any dimension is zero, the capacity is
-    /// not an exact multiple of `ways × line_bytes`, or the set count is
-    /// not a power of two.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`CacheConfigError`] when any dimension is zero, the
+    /// capacity is not an exact multiple of `ways × line_bytes`, or the
+    /// set count is not a power of two.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
         if self.size_bytes == 0 || self.ways == 0 || self.line_bytes == 0 {
-            return Err("cache dimensions must be positive".into());
+            return Err(CacheConfigError::ZeroDimension);
         }
         if self.size_bytes % (self.ways * self.line_bytes) != 0 {
-            return Err("capacity must divide into ways × line size".into());
+            return Err(CacheConfigError::Indivisible);
         }
         if !self.sets().is_power_of_two() {
-            return Err(format!("set count {} must be a power of two", self.sets()));
+            return Err(CacheConfigError::SetsNotPowerOfTwo { sets: self.sets() });
         }
         Ok(())
     }
@@ -133,7 +163,7 @@ struct Line {
 /// dl0.fill(line);
 /// assert!(dl0.access(line));       // now hits
 /// assert_eq!(dl0.stats().misses, 1);
-/// # Ok::<(), String>(())
+/// # Ok::<(), lowvcc_uarch::cache::CacheConfigError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SetAssocCache {
@@ -151,7 +181,7 @@ impl SetAssocCache {
     /// # Errors
     ///
     /// Propagates [`CacheConfig::validate`] failures.
-    pub fn new(cfg: CacheConfig) -> Result<Self, String> {
+    pub fn new(cfg: CacheConfig) -> Result<Self, CacheConfigError> {
         cfg.validate()?;
         let sets = cfg.sets();
         Ok(Self {
@@ -406,7 +436,7 @@ mod tests {
     #[test]
     fn miss_ratio_reflects_working_set() {
         let mut c = tiny(); // 512 B = 8 lines
-        // Working set of 4 lines: after warmup, all hits.
+                            // Working set of 4 lines: after warmup, all hits.
         for line in 0..4u64 {
             c.access(line);
             c.fill(line).unwrap();
@@ -472,7 +502,7 @@ mod tests {
     fn eviction_reports_correct_line_address() {
         let mut c = tiny();
         c.fill(13).unwrap(); // set 1, tag 3
-        // Fill two more lines into set 1 to force 13 out (2 ways).
+                             // Fill two more lines into set 1 to force 13 out (2 ways).
         c.fill(1).unwrap();
         c.access(1);
         let evicted = c.fill(21).unwrap(); // set 1, tag 5 — evicts LRU (13)

@@ -42,7 +42,7 @@ pub mod tlb;
 
 pub use bpred::{Bimodal, BranchPredictor, Btb, CorruptionTracker, Gshare};
 pub use buffers::{StallGuard, TimedBuffer};
-pub use cache::{CacheConfig, CacheStats, SetAssocCache};
+pub use cache::{CacheConfig, CacheConfigError, CacheStats, SetAssocCache};
 pub use iq::InstQueue;
 pub use ports::{Port, PortSet};
 pub use replacement::Policy;

@@ -101,7 +101,11 @@ mod tests {
     fn invalid_way_preferred_by_all_policies() {
         for policy in [Policy::Lru, Policy::RoundRobin, Policy::Random] {
             let mut st = PolicyState::new(policy, 1, 0);
-            let ways = [way(true, false, 10), way(false, false, 0), way(true, false, 5)];
+            let ways = [
+                way(true, false, 10),
+                way(false, false, 0),
+                way(true, false, 5),
+            ];
             assert_eq!(st.select_victim(0, &ways), Some(1), "{policy:?}");
         }
     }
@@ -109,7 +113,11 @@ mod tests {
     #[test]
     fn lru_picks_least_recent() {
         let mut st = PolicyState::new(Policy::Lru, 1, 0);
-        let ways = [way(true, false, 30), way(true, false, 10), way(true, false, 20)];
+        let ways = [
+            way(true, false, 30),
+            way(true, false, 10),
+            way(true, false, 20),
+        ];
         assert_eq!(st.select_victim(0, &ways), Some(1));
     }
 
@@ -125,8 +133,14 @@ mod tests {
     #[test]
     fn round_robin_rotates_per_set() {
         let mut st = PolicyState::new(Policy::RoundRobin, 2, 0);
-        let ways = [way(true, false, 0), way(true, false, 0), way(true, false, 0)];
-        let picks: Vec<_> = (0..4).map(|_| st.select_victim(0, &ways).unwrap()).collect();
+        let ways = [
+            way(true, false, 0),
+            way(true, false, 0),
+            way(true, false, 0),
+        ];
+        let picks: Vec<_> = (0..4)
+            .map(|_| st.select_victim(0, &ways).unwrap())
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0]);
         // Set 1 has an independent cursor.
         assert_eq!(st.select_victim(1, &ways), Some(0));
@@ -134,7 +148,11 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_per_seed_and_in_range() {
-        let ways = [way(true, false, 0), way(true, false, 0), way(true, false, 0)];
+        let ways = [
+            way(true, false, 0),
+            way(true, false, 0),
+            way(true, false, 0),
+        ];
         let mut a = PolicyState::new(Policy::Random, 1, 42);
         let mut b = PolicyState::new(Policy::Random, 1, 42);
         for _ in 0..20 {

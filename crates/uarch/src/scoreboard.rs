@@ -72,8 +72,15 @@ impl Scoreboard {
     /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
     #[must_use]
     pub fn new(width: u32) -> Self {
-        assert!(width > 0 && width <= MAX_WIDTH, "width must be 1..={MAX_WIDTH}");
-        let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        assert!(
+            width > 0 && width <= MAX_WIDTH,
+            "width must be 1..={MAX_WIDTH}"
+        );
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1 << width) - 1
+        };
         Self {
             regs: vec![ShiftReg { bits: mask }; usize::from(lowvcc_trace::NUM_REGS)],
             width,

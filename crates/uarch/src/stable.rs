@@ -253,7 +253,10 @@ mod tests {
         assert!(matches!(st.probe(0x1004, 4, 3), StableMatch::Full { .. }));
         assert!(matches!(st.probe(0x0FFC, 8, 3), StableMatch::Full { .. }));
         // Adjacent but non-overlapping in the same set: set-only.
-        assert!(matches!(st.probe(0x1008, 4, 3), StableMatch::SetOnly { .. }));
+        assert!(matches!(
+            st.probe(0x1008, 4, 3),
+            StableMatch::SetOnly { .. }
+        ));
     }
 
     #[test]
@@ -273,7 +276,7 @@ mod tests {
         let mut st = StoreTable::new(2);
         st.cycle_update(Some(store(0x1000, 5))); // older
         st.cycle_update(Some(store(0x2000, 9))); // younger
-        // Match the older entry: both must replay (oldest onwards).
+                                                 // Match the older entry: both must replay (oldest onwards).
         let m = st.probe(0x1000, 8, 5);
         assert_eq!(m.replay_stores(), 2);
         // Match only the younger: one replay.

@@ -3,14 +3,12 @@
 //!
 //! Run with: `cargo run --release --example alternatives_faceoff`
 
-use lowvcc::baselines::{
-    ExtraBypassDesign, ExtraBypassScope, FaultyBitsDesign, FaultyBitsScope,
-};
+use lowvcc::baselines::{ExtraBypassDesign, ExtraBypassScope, FaultyBitsDesign, FaultyBitsScope};
 use lowvcc::core::{run_suite, CoreConfig, Mechanism, SimConfig};
 use lowvcc::sram::{CycleTimeModel, VccRange};
 use lowvcc::trace::{TraceSpec, WorkloadFamily};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), lowvcc::Error> {
     let timing = CycleTimeModel::silverthorne_45nm();
     let core = CoreConfig::silverthorne();
     let traces: Vec<_> = [
@@ -30,7 +28,7 @@ fn main() -> Result<(), String> {
         "{:>7} {:>8} {:>22} {:>24}",
         "Vcc", "IRAW", "FaultyBits 4σ (hypo.)", "ExtraBypass 2-cyc (hypo.)"
     );
-    let sweep = VccRange::new(575, 400, 25).map_err(|e| e.to_string())?;
+    let sweep = VccRange::new(575, 400, 25)?;
     for vcc in sweep.iter() {
         let base = run_suite(
             &SimConfig::at_vcc(core, &timing, vcc, Mechanism::Baseline),

@@ -11,7 +11,7 @@ use lowvcc::sram::{CycleTimeModel, PAPER_SWEEP};
 fn main() {
     let timing = CycleTimeModel::silverthorne_45nm();
     let dvfs = DvfsController::silverthorne_45nm();
-    let mechanisms = IrawController::silverthorne(timing.clone());
+    let mechanisms = IrawController::silverthorne(timing);
 
     println!(
         "{:>7} {:>10} {:>6} {:>13} {:>13} {:>15}",

@@ -19,7 +19,14 @@ fn main() {
     println!("Register file scoreboard (paper Figure 8):");
     let mut sb = Scoreboard::new(7);
     let r = Reg::new(3).expect("valid register");
-    sb.set_producer(r, 3, Some(IrawWindow { bypass_levels: 1, bubble: n }));
+    sb.set_producer(
+        r,
+        3,
+        Some(IrawWindow {
+            bypass_levels: 1,
+            bubble: n,
+        }),
+    );
     for cycle in 0..7 {
         println!(
             "  cycle i+{cycle}: {:07b}  consumer may issue: {}",
@@ -40,13 +47,20 @@ fn main() {
             iq.issue_allowed(2, 2, n)
         );
     }
-    println!("  → issue requires occupancy ≥ ICI + AI·N = {}.\n", 2 + 2 * n as usize);
+    println!(
+        "  → issue requires occupancy ≥ ICI + AI·N = {}.\n",
+        2 + 2 * n as usize
+    );
 
     // --- DL0 Store Table: the Figure 10 flow -------------------------
     println!("DL0 Store Table (paper Figure 10):");
     let mut st = StoreTable::new(2);
     st.reconfigure(n as usize);
-    st.cycle_update(Some(TrackedStore { addr: 0x1000, size: 8, set: 4 }));
+    st.cycle_update(Some(TrackedStore {
+        addr: 0x1000,
+        size: 8,
+        set: 4,
+    }));
     for (what, addr, set) in [
         ("load of another set      ", 0x2000u64, 9u64),
         ("load of the stored addr  ", 0x1000, 4),

@@ -7,10 +7,10 @@ use lowvcc::core::{CoreConfig, Mechanism, SimConfig, Simulator};
 use lowvcc::sram::{CycleTimeModel, Millivolts, TimingLimiter};
 use lowvcc::trace::{TraceSpec, WorkloadFamily};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), lowvcc::Error> {
     // 1. The calibrated 45 nm timing model (the paper's Figure 1 physics).
     let timing = CycleTimeModel::silverthorne_45nm();
-    let vcc = Millivolts::new(500).map_err(|e| e.to_string())?;
+    let vcc = Millivolts::new(500)?;
     println!(
         "At {vcc}: logic-limited cycle {:.0} ps, write-limited {:.0} ps, IRAW {:.0} ps",
         timing.cycle_time(vcc, TimingLimiter::Logic).picos(),
@@ -25,8 +25,8 @@ fn main() -> Result<(), String> {
 
     // 3. Simulate the write-limited baseline and the IRAW core.
     let core = CoreConfig::silverthorne();
-    let baseline = Simulator::new(SimConfig::at_vcc(core, &timing, vcc, Mechanism::Baseline))?
-        .run(&trace)?;
+    let baseline =
+        Simulator::new(SimConfig::at_vcc(core, &timing, vcc, Mechanism::Baseline))?.run(&trace)?;
     let iraw =
         Simulator::new(SimConfig::at_vcc(core, &timing, vcc, Mechanism::Iraw))?.run(&trace)?;
 

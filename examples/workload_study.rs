@@ -10,10 +10,10 @@ use lowvcc::core::{compare_mechanisms, CoreConfig};
 use lowvcc::sram::{CycleTimeModel, Millivolts};
 use lowvcc::trace::{TraceSpec, TraceStats, WorkloadFamily};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), lowvcc::Error> {
     let timing = CycleTimeModel::silverthorne_45nm();
     let core = CoreConfig::silverthorne();
-    let vcc = Millivolts::new(475).map_err(|e| e.to_string())?;
+    let vcc = Millivolts::new(475)?;
 
     println!(
         "{:<12} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8} {:>9}",
@@ -47,6 +47,9 @@ fn main() -> Result<(), String> {
             miss,
         );
     }
-    println!("\nFrequency gain available at {vcc}: ×{:.2}", timing.frequency_gain(vcc));
+    println!(
+        "\nFrequency gain available at {vcc}: ×{:.2}",
+        timing.frequency_gain(vcc)
+    );
     Ok(())
 }

@@ -1,0 +1,97 @@
+//! Workspace-level error facade.
+//!
+//! Each crate of the stack exposes its own typed error at its boundary
+//! (`VoltageError`, `TraceError`, `ConfigError`, `SimError`,
+//! `ExperimentError`); [`Error`] unifies the ones reachable through the
+//! facade re-exports so applications — the `examples/` binaries included —
+//! can use one `?`-friendly type end-to-end.
+
+use std::fmt;
+
+use lowvcc_core::{ConfigError, SimError};
+use lowvcc_sram::VoltageError;
+use lowvcc_trace::TraceError;
+
+/// Any error produced by the re-exported workspace crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A supply-voltage value was rejected (`lowvcc_sram`).
+    Voltage(VoltageError),
+    /// Workload synthesis or validation failed (`lowvcc_trace`).
+    Trace(TraceError),
+    /// A machine configuration failed validation (`lowvcc_core`).
+    Config(ConfigError),
+    /// A simulation failed (`lowvcc_core`).
+    Sim(SimError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Voltage(e) => write!(f, "voltage: {e}"),
+            Self::Trace(e) => write!(f, "trace: {e}"),
+            Self::Config(e) => write!(f, "config: {e}"),
+            Self::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Voltage(e) => Some(e),
+            Self::Trace(e) => Some(e),
+            Self::Config(e) => Some(e),
+            Self::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<VoltageError> for Error {
+    fn from(e: VoltageError) -> Self {
+        Self::Voltage(e)
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Self {
+        Self::Trace(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wraps_every_layer() {
+        let e: Error = SimError::NoProgress {
+            cycles: 1,
+            committed: 0,
+            total: 1,
+        }
+        .into();
+        assert!(matches!(e, Error::Sim(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().starts_with("simulation:"));
+
+        let e: Error = ConfigError::ZeroWidth.into();
+        assert!(matches!(e, Error::Config(_)));
+
+        let e: Error = TraceError::Empty { name: "x" }.into();
+        assert!(matches!(e, Error::Trace(_)));
+    }
+}

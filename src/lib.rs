@@ -5,6 +5,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod error;
+
+pub use error::Error;
+
 pub use lowvcc_baselines as baselines;
 pub use lowvcc_core as core;
 pub use lowvcc_energy as energy;

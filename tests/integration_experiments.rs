@@ -11,7 +11,8 @@ fn ctx() -> ExperimentContext {
 
 #[test]
 fn figure1_crossovers_match_paper() {
-    let series = lowvcc_sram::Figure1Series::generate(&lowvcc_sram::CycleTimeModel::silverthorne_45nm());
+    let series =
+        lowvcc_sram::Figure1Series::generate(&lowvcc_sram::CycleTimeModel::silverthorne_45nm());
     assert_eq!(series.write_wl_crossover().unwrap().millivolts(), 600);
     assert_eq!(series.write_only_crossover().unwrap().millivolts(), 525);
     assert!(series.read_never_limits());
@@ -80,9 +81,7 @@ fn figure12_shape_holds() {
     // Baseline leakage share grows as Vcc falls (the energy mechanism
     // behind the EDP wins).
     for pair in points.windows(2) {
-        assert!(
-            pair[1].baseline_leakage_fraction >= pair[0].baseline_leakage_fraction - 1e-9
-        );
+        assert!(pair[1].baseline_leakage_fraction >= pair[0].baseline_leakage_fraction - 1e-9);
     }
 }
 
@@ -100,7 +99,10 @@ fn table1_story_holds() {
 #[test]
 fn stall_attribution_rf_dominates() {
     let (_, report) = stalls::table(&ctx()).expect("measurement runs");
-    assert!(report.total_degradation > 0.01, "IRAW stalls must cost something");
+    assert!(
+        report.total_degradation > 0.01,
+        "IRAW stalls must cost something"
+    );
     assert!(report.rf_share >= report.dl0_share);
     assert!(report.rf_share >= report.other_share);
 }

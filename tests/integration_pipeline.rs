@@ -3,8 +3,7 @@
 
 use lowvcc_baselines::{ExtraBypassDesign, ExtraBypassScope, FaultyBitsDesign, FaultyBitsScope};
 use lowvcc_core::{
-    adapt_at, compare_mechanisms, run_suite, AdaptGoal, CoreConfig, Mechanism, SimConfig,
-    Simulator,
+    adapt_at, compare_mechanisms, run_suite, AdaptGoal, CoreConfig, Mechanism, SimConfig, Simulator,
 };
 use lowvcc_energy::EnergyModel;
 use lowvcc_sram::voltage::mv;
@@ -77,12 +76,16 @@ fn whole_stack_is_deterministic() {
     let core = CoreConfig::silverthorne();
     let cfg = SimConfig::at_vcc(core, &timing(), mv(450), Mechanism::Iraw);
     let sim = Simulator::new(cfg).unwrap();
-    let t = TraceSpec::new(WorkloadFamily::Server, 11, 30_000).build().unwrap();
+    let t = TraceSpec::new(WorkloadFamily::Server, 11, 30_000)
+        .build()
+        .unwrap();
     let a = sim.run(&t).unwrap();
     let b = sim.run(&t).unwrap();
     assert_eq!(a.stats, b.stats);
     // Rebuilding the trace from the same spec gives the same stream.
-    let t2 = TraceSpec::new(WorkloadFamily::Server, 11, 30_000).build().unwrap();
+    let t2 = TraceSpec::new(WorkloadFamily::Server, 11, 30_000)
+        .build()
+        .unwrap();
     assert_eq!(t.uops, t2.uops);
 }
 
@@ -96,8 +99,19 @@ fn measured_adaptation_matches_predictive_controller() {
     let low = adapt_at(core, &timing(), &energy, mv(500), &ts, AdaptGoal::MinEdp).unwrap();
     assert_eq!(low.chosen, Mechanism::Iraw);
     assert!(low.iraw_edp_ratio < 0.85);
-    let high = adapt_at(core, &timing(), &energy, mv(625), &ts, AdaptGoal::Performance).unwrap();
-    assert!((high.iraw_speedup - 1.0).abs() < 0.01, "tie above the boundary");
+    let high = adapt_at(
+        core,
+        &timing(),
+        &energy,
+        mv(625),
+        &ts,
+        AdaptGoal::Performance,
+    )
+    .unwrap();
+    assert!(
+        (high.iraw_speedup - 1.0).abs() < 0.01,
+        "tie above the boundary"
+    );
 }
 
 #[test]
@@ -164,7 +178,10 @@ fn iraw_aware_scheduling_reduces_rf_stalls() {
         .unwrap();
     let (scheduled, stats) = schedule_trace(&original, ScheduleConfig::silverthorne_iraw());
     verify_reorder(&original, &scheduled).unwrap();
-    assert!(stats.hoisted > 0, "scheduler must find hoisting opportunities");
+    assert!(
+        stats.hoisted > 0,
+        "scheduler must find hoisting opportunities"
+    );
 
     let before = sim.run(&original).unwrap();
     let after = sim.run(&scheduled).unwrap();

@@ -1,6 +1,9 @@
 //! Property-based tests over the core data structures and models.
-
-use proptest::prelude::*;
+//!
+//! The properties are checked over many pseudo-random cases drawn from the
+//! workspace's own deterministic [`SimRng`] (the container image has no
+//! crates.io access, so `proptest` is substituted with a seeded case loop —
+//! same properties, reproducible failures).
 
 use lowvcc_sram::voltage::mv;
 use lowvcc_sram::{Bitcell8T, CycleTimeModel, TimingLimiter};
@@ -11,105 +14,147 @@ use lowvcc_uarch::replacement::Policy;
 use lowvcc_uarch::scoreboard::{IrawWindow, Scoreboard};
 use lowvcc_uarch::stable::{StableMatch, StoreTable, TrackedStore};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// Scoreboard semantics: for any producer latency and IRAW window that
-    /// fit the register, readiness over time is exactly
-    /// `not-ready(lat) ; ready(bypass) ; not-ready(bubble) ; ready(∞)`.
-    #[test]
-    fn scoreboard_window_semantics(
-        latency in 1u32..5,
-        bypass in 1u32..3,
-        bubble in 0u32..3,
-        width in 8u32..16,
-    ) {
+/// One RNG per property, seeded by the property's name, so cases are
+/// independent across properties but stable across runs.
+fn case_rng(property: &str) -> SimRng {
+    let seed = property.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    SimRng::seed_from(seed)
+}
+
+/// Draws from an inclusive-exclusive range.
+fn draw(rng: &mut SimRng, lo: u64, hi: u64) -> u64 {
+    lo + rng.below(hi - lo)
+}
+
+/// Scoreboard semantics: for any producer latency and IRAW window that
+/// fit the register, readiness over time is exactly
+/// `not-ready(lat) ; ready(bypass) ; not-ready(bubble) ; ready(∞)`.
+#[test]
+fn scoreboard_window_semantics() {
+    let mut rng = case_rng("scoreboard_window_semantics");
+    let mut checked = 0;
+    while checked < CASES {
+        let latency = draw(&mut rng, 1, 5) as u32;
+        let bypass = draw(&mut rng, 1, 3) as u32;
+        let bubble = draw(&mut rng, 0, 3) as u32;
+        let width = draw(&mut rng, 8, 16) as u32;
         // A B-bit register supports windows up to B − 1 bits (the pattern
         // needs a trailing ready bit).
-        prop_assume!(latency + bypass + bubble < width);
+        if latency + bypass + bubble >= width {
+            continue;
+        }
+        checked += 1;
         let mut sb = Scoreboard::new(width);
         let r = Reg::new(7).unwrap();
-        sb.set_producer(r, latency, Some(IrawWindow { bypass_levels: bypass, bubble }));
+        sb.set_producer(
+            r,
+            latency,
+            Some(IrawWindow {
+                bypass_levels: bypass,
+                bubble,
+            }),
+        );
         let horizon = width + 4;
         for cycle in 0..horizon {
             let expect = if cycle < latency {
                 false
             } else if cycle < latency + bypass {
                 true
-            } else if cycle < latency + bypass + bubble {
-                false
             } else {
-                true
+                cycle >= latency + bypass + bubble
             };
-            prop_assert_eq!(sb.is_ready(r), expect, "cycle {}", cycle);
+            assert_eq!(
+                sb.is_ready(r),
+                expect,
+                "lat {latency} bypass {bypass} bubble {bubble} width {width} cycle {cycle}"
+            );
             sb.tick();
         }
     }
+}
 
-    /// Once ready-forever, a register stays ready under arbitrary ticks
-    /// (the trailing ones are sticky).
-    #[test]
-    fn scoreboard_ready_is_sticky(latency in 1u32..6, extra_ticks in 0u32..40) {
+/// Once ready-forever, a register stays ready under arbitrary ticks
+/// (the trailing ones are sticky).
+#[test]
+fn scoreboard_ready_is_sticky() {
+    let mut rng = case_rng("scoreboard_ready_is_sticky");
+    for _ in 0..CASES {
+        let latency = draw(&mut rng, 1, 6) as u32;
+        let extra_ticks = draw(&mut rng, 0, 40);
         let mut sb = Scoreboard::new(8);
         let r = Reg::new(1).unwrap();
         sb.set_producer(r, latency, None);
         for _ in 0..latency {
             sb.tick();
         }
-        prop_assert!(sb.is_ready(r));
+        assert!(sb.is_ready(r), "latency {latency}");
         for _ in 0..extra_ticks {
             sb.tick();
-            prop_assert!(sb.is_ready(r));
+            assert!(sb.is_ready(r), "latency {latency}");
         }
     }
+}
 
-    /// The IQ behaves exactly like a FIFO, and the Figure 9 hardware
-    /// occupancy always agrees with the architectural count.
-    #[test]
-    fn iq_matches_reference_fifo(ops in prop::collection::vec(0u8..3, 1..200)) {
+/// The IQ behaves exactly like a FIFO, and the Figure 9 hardware
+/// occupancy always agrees with the architectural count.
+#[test]
+fn iq_matches_reference_fifo() {
+    let mut rng = case_rng("iq_matches_reference_fifo");
+    for case in 0..CASES {
+        let ops = draw(&mut rng, 1, 200);
         let mut iq: InstQueue<u32> = InstQueue::new(16);
         let mut reference = std::collections::VecDeque::new();
         let mut next = 0u32;
-        for op in ops {
-            match op {
+        for _ in 0..ops {
+            match rng.below(3) {
                 0 => {
                     let ok = iq.alloc(next).is_ok();
                     if reference.len() < 16 {
-                        prop_assert!(ok);
+                        assert!(ok, "case {case}");
                         reference.push_back(next);
                     } else {
-                        prop_assert!(!ok);
+                        assert!(!ok, "case {case}");
                     }
                     next += 1;
                 }
                 1 => {
-                    prop_assert_eq!(iq.pop_oldest(), reference.pop_front());
+                    assert_eq!(iq.pop_oldest(), reference.pop_front(), "case {case}");
                 }
                 _ => {
                     iq.flush();
                     reference.clear();
                 }
             }
-            prop_assert_eq!(iq.occupancy(), reference.len());
-            prop_assert_eq!(iq.hardware_occupancy(), reference.len());
-            prop_assert_eq!(iq.front(), reference.front());
+            assert_eq!(iq.occupancy(), reference.len(), "case {case}");
+            assert_eq!(iq.hardware_occupancy(), reference.len(), "case {case}");
+            assert_eq!(iq.front(), reference.front(), "case {case}");
         }
     }
+}
 
-    /// Cache coherence of the tag store: after a fill, the line hits until
-    /// it is evicted or invalidated; misses never lie.
-    #[test]
-    fn cache_tag_store_is_truthful(lines in prop::collection::vec(0u64..64, 1..300)) {
+/// Cache coherence of the tag store: after a fill, the line hits until
+/// it is evicted or invalidated; misses never lie.
+#[test]
+fn cache_tag_store_is_truthful() {
+    let mut rng = case_rng("cache_tag_store_is_truthful");
+    for _ in 0..CASES {
+        let accesses = draw(&mut rng, 1, 300);
         let mut cache = SetAssocCache::new(CacheConfig {
             size_bytes: 1024,
             ways: 2,
             line_bytes: 64,
             policy: Policy::Lru,
-        }).unwrap();
+        })
+        .unwrap();
         let mut resident = std::collections::HashSet::new();
-        for line in lines {
+        for _ in 0..accesses {
+            let line = rng.below(64);
             let hit = cache.access(line);
-            prop_assert_eq!(hit, resident.contains(&line), "line {}", line);
+            assert_eq!(hit, resident.contains(&line), "line {line}");
             if !hit {
                 if let Ok(evicted) = cache.fill(line) {
                     if let Some(v) = evicted {
@@ -120,18 +165,22 @@ proptest! {
             }
         }
     }
+}
 
-    /// Store Table: a probe returns Full iff some enabled tracked store
-    /// overlaps the probed range; SetOnly iff only a set matches.
-    #[test]
-    fn stable_matches_reference_model(
-        stores in prop::collection::vec((0u64..32, prop::bool::ANY), 1..40),
-        probe_word in 0u64..32,
-    ) {
+/// Store Table: a probe returns Full iff some enabled tracked store
+/// overlaps the probed range; SetOnly iff only a set matches.
+#[test]
+fn stable_matches_reference_model() {
+    let mut rng = case_rng("stable_matches_reference_model");
+    for _ in 0..CASES {
+        let stores = draw(&mut rng, 1, 40);
+        let probe_word = rng.below(32);
         let mut st = StoreTable::new(2);
         let mut window: std::collections::VecDeque<Option<(u64, u64)>> =
             std::collections::VecDeque::new(); // (addr, set)
-        for (word, present) in stores {
+        for _ in 0..stores {
+            let word = rng.below(32);
+            let present = rng.chance(0.5);
             let addr = word * 8;
             let set = word % 4;
             let tracked = present.then_some(TrackedStore { addr, size: 8, set });
@@ -147,78 +196,113 @@ proptest! {
         let expect_full = live.iter().any(|&(a, _)| a == addr);
         let expect_set = live.iter().any(|&(_, s)| s == set);
         match st.probe(addr, 8, set) {
-            StableMatch::Full { .. } => prop_assert!(expect_full),
-            StableMatch::SetOnly { .. } => prop_assert!(!expect_full && expect_set),
-            StableMatch::None => prop_assert!(!expect_full && !expect_set),
+            StableMatch::Full { .. } => assert!(expect_full),
+            StableMatch::SetOnly { .. } => assert!(!expect_full && expect_set),
+            StableMatch::None => assert!(!expect_full && !expect_set),
         }
     }
+}
 
-    /// Timing-model monotonicity: for any two voltages, the lower one has
-    /// longer delays under every limiter, and IRAW sits between logic and
-    /// write-limited.
-    #[test]
-    fn cycle_times_monotone_and_ordered(a in 400u32..700, b in 400u32..700) {
-        let m = CycleTimeModel::silverthorne_45nm();
+/// Timing-model monotonicity: for any two voltages, the lower one has
+/// longer delays under every limiter, and IRAW sits between logic and
+/// write-limited.
+#[test]
+fn cycle_times_monotone_and_ordered() {
+    let mut rng = case_rng("cycle_times_monotone_and_ordered");
+    let m = CycleTimeModel::silverthorne_45nm();
+    let mut checked = 0;
+    while checked < CASES {
+        let a = draw(&mut rng, 400, 700) as u32;
+        let b = draw(&mut rng, 400, 700) as u32;
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assume!(lo != hi);
-        for limiter in [TimingLimiter::Logic, TimingLimiter::WriteLimited, TimingLimiter::Iraw] {
-            prop_assert!(m.cycle_time(mv(lo), limiter) > m.cycle_time(mv(hi), limiter));
+        if lo == hi {
+            continue;
+        }
+        checked += 1;
+        for limiter in [
+            TimingLimiter::Logic,
+            TimingLimiter::WriteLimited,
+            TimingLimiter::Iraw,
+        ] {
+            assert!(
+                m.cycle_time(mv(lo), limiter) > m.cycle_time(mv(hi), limiter),
+                "{lo} vs {hi} under {limiter:?}"
+            );
         }
         for v in [lo, hi] {
             let logic = m.cycle_time(mv(v), TimingLimiter::Logic);
             let iraw = m.cycle_time(mv(v), TimingLimiter::Iraw);
             let base = m.cycle_time(mv(v), TimingLimiter::WriteLimited);
-            prop_assert!(logic <= iraw);
-            prop_assert!(iraw <= base);
+            assert!(logic <= iraw, "at {v} mV");
+            assert!(iraw <= base, "at {v} mV");
         }
-    }
-
-    /// Bitcell σ-sensitivity: write delay increases with σ at any voltage.
-    #[test]
-    fn write_delay_monotone_in_sigma(v in 400u32..700, s1 in 0f64..6.0, s2 in 0f64..6.0) {
-        prop_assume!((s1 - s2).abs() > 0.05);
-        let cell = Bitcell8T::silverthorne_45nm();
-        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
-        prop_assert!(
-            cell.write_delay_at_sigma(mv(v), lo) < cell.write_delay_at_sigma(mv(v), hi)
-        );
-    }
-
-    /// PRNG bounds: `below(n)` always lands in range and `chance`
-    /// respects the clamped extremes.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut rng = SimRng::seed_from(seed);
-        for _ in 0..32 {
-            prop_assert!(rng.below(bound) < bound);
-        }
-        prop_assert!(!rng.chance(0.0));
-        prop_assert!(rng.chance(1.0));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Bitcell σ-sensitivity: write delay increases with σ at any voltage.
+#[test]
+fn write_delay_monotone_in_sigma() {
+    let mut rng = case_rng("write_delay_monotone_in_sigma");
+    let cell = Bitcell8T::silverthorne_45nm();
+    let mut checked = 0;
+    while checked < CASES {
+        let v = draw(&mut rng, 400, 700) as u32;
+        let s1 = rng.next_f64() * 6.0;
+        let s2 = rng.next_f64() * 6.0;
+        if (s1 - s2).abs() <= 0.05 {
+            continue;
+        }
+        checked += 1;
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        assert!(
+            cell.write_delay_at_sigma(mv(v), lo) < cell.write_delay_at_sigma(mv(v), hi),
+            "{v} mV, sigma {lo:.2} vs {hi:.2}"
+        );
+    }
+}
 
-    /// Whole-stack property: any seeded workload simulates to completion
-    /// under every mechanism, committing exactly its uop count, with IPC
-    /// within the machine's physical bounds.
-    #[test]
-    fn any_workload_simulates_cleanly(
-        seed in 0u64..5000,
-        family_idx in 0usize..7,
-        len in 1_000usize..4_000,
-    ) {
-        use lowvcc_core::{CoreConfig, Mechanism, SimConfig, Simulator};
-        let family = WorkloadFamily::all()[family_idx];
+/// PRNG bounds: `below(n)` always lands in range and `chance` respects
+/// the clamped extremes.
+#[test]
+fn rng_bounds() {
+    let mut meta = case_rng("rng_bounds");
+    for _ in 0..CASES {
+        let seed = meta.below(u64::MAX);
+        let bound = draw(&mut meta, 1, 1_000_000);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..32 {
+            assert!(rng.below(bound) < bound, "seed {seed} bound {bound}");
+        }
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}
+
+/// Whole-stack property: any seeded workload simulates to completion
+/// under every mechanism, committing exactly its uop count, with IPC
+/// within the machine's physical bounds.
+#[test]
+fn any_workload_simulates_cleanly() {
+    use lowvcc_core::{CoreConfig, Mechanism, SimConfig, Simulator};
+    let mut rng = case_rng("any_workload_simulates_cleanly");
+    let timing = CycleTimeModel::silverthorne_45nm();
+    for _ in 0..12 {
+        let seed = rng.below(5000);
+        let family = WorkloadFamily::all()[rng.below(7) as usize];
+        let len = draw(&mut rng, 1_000, 4_000) as usize;
         let trace = TraceSpec::new(family, seed, len).build().unwrap();
-        let timing = CycleTimeModel::silverthorne_45nm();
         for mech in [Mechanism::Baseline, Mechanism::Iraw] {
             let cfg = SimConfig::at_vcc(CoreConfig::silverthorne(), &timing, mv(475), mech);
             let result = Simulator::new(cfg).unwrap().run(&trace).unwrap();
-            prop_assert_eq!(result.stats.instructions, len as u64);
-            prop_assert!(result.stats.ipc() <= 2.0);
-            prop_assert!(result.stats.cycles >= (len as u64) / 2);
+            assert_eq!(
+                result.stats.instructions, len as u64,
+                "{family} seed {seed}"
+            );
+            assert!(result.stats.ipc() <= 2.0, "{family} seed {seed}");
+            assert!(
+                result.stats.cycles >= (len as u64) / 2,
+                "{family} seed {seed}"
+            );
         }
     }
 }

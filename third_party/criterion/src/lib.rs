@@ -1,0 +1,193 @@
+//! Minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness API, so the workspace's benches compile and run in offline
+//! environments (the CI image has no crates.io access).
+//!
+//! Only the surface the `lowvcc-bench` benches use is provided:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] (with `sample_size`/`throughput`/`finish`),
+//! [`Throughput`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Timing model: each benchmark closure is warmed once, then timed over a
+//! small fixed number of batches and reported as mean ns/iter on stdout.
+//! The iteration budget is intentionally tiny (`CRITERION_SHIM_ITERS`
+//! overrides it) so `cargo test`/`cargo bench` stay fast; this shim trades
+//! statistical rigor for hermetic builds.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn shim_iters() -> u64 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, retaining the mean ns/iter for the report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let iters = shim_iters();
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn report(group: Option<&str>, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            format!(" ({:.0} elem/s)", n as f64 * 1e9 / b.mean_ns)
+        }
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            format!(" ({:.0} B/s)", n as f64 * 1e9 / b.mean_ns)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {full:<48} {:>14.0} ns/iter over {} iters{extra}",
+        b.mean_ns, b.iters
+    );
+}
+
+/// The harness entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs and reports a standalone benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(None, &name.into(), &b, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares the per-iteration throughput for the report line.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs and reports one benchmark of the group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(Some(&self.name), &name.into(), &b, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags (e.g. --test,
+            // --bench); none change the shim's behavior.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_body() {
+        let mut ran = 0u32;
+        Criterion::default().bench_function("t", |b| b.iter(|| ran += 1));
+        assert!(ran >= shim_iters() as u32);
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(5));
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}
