@@ -7,7 +7,7 @@
 //! rows reproduce the published table verbatim; [`quantitative_table`]
 //! backs each claim with measured numbers at a chosen voltage.
 
-use lowvcc_core::{run_suite, CoreConfig, Mechanism, SimConfig, SimError};
+use lowvcc_core::{run_suite_with, CoreConfig, Mechanism, Parallelism, SimConfig, SimError};
 use lowvcc_energy::{ExtraBypassOverhead, FaultyBitsOverhead, IrawOverhead};
 use lowvcc_sram::{CycleTimeModel, Millivolts};
 use lowvcc_trace::Trace;
@@ -98,8 +98,24 @@ pub fn quantitative_table(
     vcc: Millivolts,
     traces: &[Trace],
 ) -> Result<Vec<QuantRow>, SimError> {
+    quantitative_table_with(core, timing, vcc, traces, Parallelism::sequential())
+}
+
+/// [`quantitative_table`], with each technique's suite fanned out across
+/// `par` worker threads. Output is identical for any `par`.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn quantitative_table_with(
+    core: CoreConfig,
+    timing: &CycleTimeModel,
+    vcc: Millivolts,
+    traces: &[Trace],
+    par: Parallelism,
+) -> Result<Vec<QuantRow>, SimError> {
     let base_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Baseline);
-    let base = run_suite(&base_cfg, traces)?;
+    let base = run_suite_with(&base_cfg, traces, par)?;
     let base_time = base.total_seconds();
     let base_ipc = base.aggregate_ipc();
 
@@ -110,7 +126,7 @@ pub fn quantitative_table(
                     energy: f64,
                     hard_to_test: bool|
      -> Result<(), SimError> {
-        let suite = run_suite(&cfg, traces)?;
+        let suite = run_suite_with(&cfg, traces, par)?;
         rows.push(QuantRow {
             technique: name.to_string(),
             frequency_gain: base_cfg.cycle_time / cfg.cycle_time,

@@ -29,6 +29,8 @@ pub mod comparison;
 pub mod extra_bypass;
 pub mod faulty_bits;
 
-pub use comparison::{qualitative_table, quantitative_table, QuantRow, Table1Row};
+pub use comparison::{
+    qualitative_table, quantitative_table, quantitative_table_with, QuantRow, Table1Row,
+};
 pub use extra_bypass::{ExtraBypassDesign, ExtraBypassScope};
 pub use faulty_bits::{FaultyBitsDesign, FaultyBitsScope};

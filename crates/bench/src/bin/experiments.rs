@@ -3,11 +3,20 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--suite quick|standard|NxLEN] [--out DIR]
+//! experiments [--suite quick|standard|paper|NxLEN] [--out DIR]
+//!             [--jobs N] [--json PATH]
 //! ```
 //!
 //! Examples: `experiments`, `experiments --suite quick`,
-//! `experiments --suite 3x50000 --out results`.
+//! `experiments --suite 3x50000 --out results --jobs 8 --json sweep.json`.
+//!
+//! `--jobs` fans the per-voltage suite sweeps out over N worker threads
+//! (default: all hardware threads; results are identical for any value).
+//! `--json` additionally writes the sweep results and the
+//! `uops_per_second` throughput figure machine-readably. `--suite paper`
+//! is the paper-scale target (532 traces × 200k uops — the closest
+//! 7-family multiple of the paper's 531) the parallel runner makes
+//! tractable.
 
 use std::fmt;
 use std::path::PathBuf;
@@ -15,6 +24,7 @@ use std::process::ExitCode;
 
 use lowvcc_bench::experiments::run_all;
 use lowvcc_bench::{ExperimentContext, ExperimentError};
+use lowvcc_core::Parallelism;
 
 /// Binary-local error: either a usage problem or a harness failure.
 enum CliError {
@@ -37,15 +47,25 @@ impl From<ExperimentError> for CliError {
     }
 }
 
-const USAGE: &str = "usage: experiments [--suite quick|standard|NxLEN] [--out DIR]";
+const USAGE: &str = "usage: experiments [--suite quick|standard|paper|NxLEN] [--out DIR] \
+                     [--jobs N] [--json PATH]";
 
 fn usage<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError::Usage(msg.into()))
 }
 
-fn parse_args() -> Result<(ExperimentContext, PathBuf), CliError> {
+struct Cli {
+    ctx: ExperimentContext,
+    out: PathBuf,
+    json: Option<PathBuf>,
+    jobs: usize,
+}
+
+fn parse_args() -> Result<Cli, CliError> {
     let mut suite = "standard".to_string();
     let mut out = PathBuf::from("results");
+    let mut json = None;
+    let mut jobs = Parallelism::available().count();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -57,6 +77,15 @@ fn parse_args() -> Result<(ExperimentContext, PathBuf), CliError> {
                 Some(v) => out = PathBuf::from(v),
                 None => return usage("--out needs a value"),
             },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => jobs = n,
+                Some(_) => return usage("--jobs needs a positive integer"),
+                None => return usage("--jobs needs a value"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -67,6 +96,7 @@ fn parse_args() -> Result<(ExperimentContext, PathBuf), CliError> {
     let ctx = match suite.as_str() {
         "quick" => ExperimentContext::quick()?,
         "standard" => ExperimentContext::standard()?,
+        "paper" => ExperimentContext::paper()?,
         custom => {
             let Some((n, len)) = custom.split_once('x') else {
                 return usage(format!("bad suite spec {custom}; want e.g. 3x50000"));
@@ -85,11 +115,17 @@ fn parse_args() -> Result<(ExperimentContext, PathBuf), CliError> {
             ExperimentContext::sized(n, len)?
         }
     };
-    Ok((ctx, out))
+    let ctx = ctx.with_parallelism(Parallelism::threads(jobs));
+    Ok(Cli {
+        ctx,
+        out,
+        json,
+        jobs,
+    })
 }
 
 fn main() -> ExitCode {
-    let (ctx, out) = match parse_args() {
+    let cli = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
@@ -97,14 +133,29 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "running all experiments on suite {} ({} uops)…",
-        ctx.suite_label,
-        ctx.total_uops()
+        "running all experiments on suite {} ({} uops, {} jobs)…",
+        cli.ctx.suite_label,
+        cli.ctx.total_uops(),
+        cli.jobs
     );
-    match run_all(&ctx, &out) {
-        Ok(report) => {
-            println!("{report}");
-            eprintln!("CSV files written under {}", out.display());
+    match run_all(&cli.ctx, &cli.out) {
+        Ok(summary) => {
+            println!("{}", summary.report);
+            eprintln!(
+                "sweep: {} uops in {:.2?} ({:.2} Muops/s)",
+                summary.sweep_uops,
+                summary.sweep_elapsed,
+                summary.uops_per_second() / 1e6
+            );
+            eprintln!("CSV files written under {}", cli.out.display());
+            if let Some(path) = cli.json {
+                let doc = summary.to_json(&cli.ctx.suite_label, cli.ctx.total_uops(), cli.jobs);
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("{}", CliError::Run(ExperimentError::io_at(&path)(e)));
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("sweep JSON written to {}", path.display());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -1,7 +1,7 @@
 //! Shared experiment context: models, machine configuration and the trace
 //! suite.
 
-use lowvcc_core::CoreConfig;
+use lowvcc_core::{CoreConfig, Parallelism};
 
 use crate::error::ExperimentError;
 use lowvcc_energy::EnergyModel;
@@ -22,6 +22,9 @@ pub struct ExperimentContext {
     pub suite: Vec<Trace>,
     /// Human-readable suite label for reports.
     pub suite_label: String,
+    /// Worker threads for suite sweeps (sequential by default; every
+    /// experiment's output is identical for any value).
+    pub parallelism: Parallelism,
 }
 
 impl ExperimentContext {
@@ -41,7 +44,16 @@ impl ExperimentContext {
             core: CoreConfig::silverthorne(),
             suite: traces,
             suite_label: label.to_string(),
+            parallelism: Parallelism::sequential(),
         })
+    }
+
+    /// Returns the context with suite sweeps fanned out over `par`
+    /// worker threads. Results are unchanged — only wall-clock time.
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
     }
 
     /// Tiny suite (7 traces × 10k uops) — for tests and criterion benches.
@@ -62,6 +74,17 @@ impl ExperimentContext {
     /// Propagates trace-generation failures.
     pub fn standard() -> Result<Self, ExperimentError> {
         Self::from_specs(&suite(7, 200_000), "standard (49×200k)")
+    }
+
+    /// Paper-scale suite (532 traces × 200k uops — the closest
+    /// 7-family multiple of the paper's 531 traces, at a trace length
+    /// the parallel runner sweeps in minutes rather than days).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn paper() -> Result<Self, ExperimentError> {
+        Self::from_specs(&suite(76, 200_000), "paper (532×200k)")
     }
 
     /// Custom suite size.

@@ -10,6 +10,7 @@ pub mod sweep;
 pub mod table1;
 
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 use crate::context::ExperimentContext;
 use crate::error::ExperimentError;
@@ -22,14 +23,85 @@ fn save(table: &TextTable, path: &Path) -> Result<(), ExperimentError> {
     table.write_csv(path).map_err(ExperimentError::io_at(path))
 }
 
+/// Everything `run_all` produced: the rendered report plus the raw sweep
+/// measurements and their throughput, for machine-readable emission.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The combined human-readable report.
+    pub report: String,
+    /// The baseline-vs-IRAW sweep behind Figures 11b/12.
+    pub sweep: Vec<SweepPoint>,
+    /// Wall-clock time of the sweep alone.
+    pub sweep_elapsed: Duration,
+    /// Dynamic uops simulated by the sweep (all voltages × both
+    /// mechanisms), the numerator of the throughput figure.
+    pub sweep_uops: u64,
+}
+
+impl RunSummary {
+    /// Simulated uops per wall-clock second over the sweep — the repo's
+    /// perf-trajectory number (BENCH_*.json).
+    #[must_use]
+    pub fn uops_per_second(&self) -> f64 {
+        let secs = self.sweep_elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.sweep_uops as f64 / secs
+        }
+    }
+
+    /// Machine-readable sweep results: suite metadata, throughput, and
+    /// one record per voltage point.
+    #[must_use]
+    pub fn to_json(&self, suite_label: &str, suite_uops: usize, jobs: usize) -> String {
+        use crate::report::json;
+        let points: Vec<String> = self
+            .sweep
+            .iter()
+            .map(|p| {
+                json::object(&[
+                    ("vcc_mv", p.vcc.millivolts().to_string()),
+                    ("frequency_gain", json::number(p.frequency_gain)),
+                    ("speedup", json::number(p.speedup)),
+                    ("delayed_fraction", json::number(p.delayed_fraction)),
+                    ("relative_delay", json::number(p.relative_delay)),
+                    ("relative_energy", json::number(p.relative_energy)),
+                    ("relative_edp", json::number(p.relative_edp)),
+                    (
+                        "baseline_leakage_fraction",
+                        json::number(p.baseline_leakage_fraction),
+                    ),
+                    ("bp_corruption_rate", json::number(p.bp_corruption_rate)),
+                    ("rsb_corruptions", p.rsb_corruptions.to_string()),
+                ])
+            })
+            .collect();
+        let mut out = json::object(&[
+            ("suite", json::string(suite_label)),
+            ("suite_uops", suite_uops.to_string()),
+            ("jobs", jobs.to_string()),
+            (
+                "sweep_elapsed_seconds",
+                json::number(self.sweep_elapsed.as_secs_f64()),
+            ),
+            ("sweep_simulated_uops", self.sweep_uops.to_string()),
+            ("uops_per_second", json::number(self.uops_per_second())),
+            ("points", json::array(&points)),
+        ]);
+        out.push('\n');
+        out
+    }
+}
+
 /// Runs every experiment, writing CSVs under `out_dir` and returning the
-/// combined text report.
+/// report plus the raw sweep data.
 ///
 /// # Errors
 ///
 /// Propagates simulation failures and CSV I/O failures (with the
 /// offending path attached).
-pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<String, ExperimentError> {
+pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<RunSummary, ExperimentError> {
     let mut report = String::new();
 
     report.push_str(&format!(
@@ -50,7 +122,13 @@ pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<String, Experi
     report.push_str(&t.render());
     report.push('\n');
 
+    let sweep_started = Instant::now();
     let points = sweep::run_sweep(ctx)?;
+    let sweep_elapsed = sweep_started.elapsed();
+    let sweep_uops: u64 = points
+        .iter()
+        .map(|p| p.baseline_instructions + p.iraw_instructions)
+        .sum();
 
     report.push_str("## Figure 11b — frequency increase and performance gains\n");
     let t = sweep::fig11b_table(&points);
@@ -88,5 +166,10 @@ pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<String, Experi
     report.push_str(&t.render());
     report.push('\n');
 
-    Ok(report)
+    Ok(RunSummary {
+        report,
+        sweep: points,
+        sweep_elapsed,
+        sweep_uops,
+    })
 }

@@ -10,7 +10,7 @@
 //! total degradation due to IRAW stalls, which the per-block stall-cycle
 //! counters then apportion.
 
-use lowvcc_core::{run_suite, Mechanism, SimConfig};
+use lowvcc_core::{run_suite_with, Mechanism, SimConfig};
 use lowvcc_sram::Millivolts;
 
 use crate::context::ExperimentContext;
@@ -60,8 +60,8 @@ pub fn measure_at(
     let mut free_cfg = iraw_cfg.clone();
     free_cfg.stabilization_cycles = 0;
 
-    let iraw = run_suite(&iraw_cfg, &ctx.suite)?;
-    let free = run_suite(&free_cfg, &ctx.suite)?;
+    let iraw = run_suite_with(&iraw_cfg, &ctx.suite, ctx.parallelism)?;
+    let free = run_suite_with(&free_cfg, &ctx.suite, ctx.parallelism)?;
     let total_degradation = iraw.total_seconds() / free.total_seconds() - 1.0;
 
     let mut rf = 0u64;

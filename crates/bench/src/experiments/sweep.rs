@@ -1,7 +1,7 @@
 //! The Vcc sweep behind Figures 11b and 12: baseline vs IRAW simulation at
 //! every voltage, with the energy model applied on top.
 
-use lowvcc_core::{compare_mechanisms, SuiteResult};
+use lowvcc_core::{compare_mechanisms_with, SuiteResult};
 use lowvcc_energy::{EdpPoint, IrawOverhead};
 use lowvcc_sram::{Millivolts, PAPER_SWEEP};
 
@@ -34,6 +34,10 @@ pub struct SweepPoint {
     pub bp_corruption_rate: f64,
     /// Potential RSB corruptions (paper §4.5: expected 0).
     pub rsb_corruptions: u64,
+    /// Instructions committed by the baseline suite run.
+    pub baseline_instructions: u64,
+    /// Instructions committed by the IRAW suite run.
+    pub iraw_instructions: u64,
 }
 
 fn suite_energy(
@@ -61,7 +65,7 @@ pub fn run_sweep(ctx: &ExperimentContext) -> Result<Vec<SweepPoint>, ExperimentE
     let iraw_overhead = IrawOverhead::silverthorne().dynamic_energy_factor();
     let mut points = Vec::new();
     for vcc in PAPER_SWEEP.iter() {
-        let cmp = compare_mechanisms(ctx.core, &ctx.timing, vcc, &ctx.suite)?;
+        let cmp = compare_mechanisms_with(ctx.core, &ctx.timing, vcc, &ctx.suite, ctx.parallelism)?;
         let base_energy = suite_energy(ctx, vcc, &cmp.baseline, 1.0);
         // The IRAW hardware is present (and clocking) at every Vcc, so its
         // ~0.6% dynamic overhead applies even where the mechanism is off —
@@ -103,6 +107,8 @@ pub fn run_sweep(ctx: &ExperimentContext) -> Result<Vec<SweepPoint>, ExperimentE
                 bp_corrupt as f64 / bp_reads as f64
             },
             rsb_corruptions: rsb_corrupt,
+            baseline_instructions: cmp.baseline.total_instructions(),
+            iraw_instructions: cmp.iraw.total_instructions(),
         });
     }
     Ok(points)

@@ -1,6 +1,6 @@
 //! T1 — the paper's Table 1 and its measured companion.
 
-use lowvcc_baselines::{qualitative_table, quantitative_table};
+use lowvcc_baselines::{qualitative_table, quantitative_table_with};
 use lowvcc_sram::Millivolts;
 
 use crate::context::ExperimentContext;
@@ -42,7 +42,7 @@ pub fn qualitative() -> TextTable {
 /// Propagates simulation failures.
 pub fn quantitative(ctx: &ExperimentContext) -> Result<TextTable, ExperimentError> {
     let vcc = Millivolts::new(500).expect("500 mV on the grid");
-    let rows = quantitative_table(ctx.core, &ctx.timing, vcc, &ctx.suite)?;
+    let rows = quantitative_table_with(ctx.core, &ctx.timing, vcc, &ctx.suite, ctx.parallelism)?;
     let mut t = TextTable::new(vec![
         "technique",
         "freq_gain",

@@ -49,6 +49,9 @@ pub use adapt::{adapt_at, AdaptGoal, AdaptOutcome};
 pub use config::{CoreConfig, Mechanism, SimConfig};
 pub use error::{ConfigError, SimError};
 pub use iraw::{IrawController, IrawSettings};
-pub use perf::{compare_mechanisms, run_suite, speedup, MechanismComparison, Speedup, SuiteResult};
+pub use perf::{
+    compare_mechanisms, compare_mechanisms_with, run_suite, run_suite_with, speedup,
+    MechanismComparison, Parallelism, Speedup, SuiteResult,
+};
 pub use sim::Simulator;
 pub use stats::{BranchStats, SimResult, SimStats, StallBreakdown};

@@ -1,5 +1,15 @@
 //! Multi-trace aggregation and mechanism comparison (the machinery behind
 //! Figure 11b's "performance gains" series).
+//!
+//! Suites are embarrassingly parallel — every (config, trace) pair is an
+//! independent, deterministic simulation — so [`run_suite_with`] fans the
+//! work items out over a [`Parallelism`]-sized pool of scoped threads.
+//! Results are reassembled in suite order, making the output byte-
+//! identical for any thread count (including errors: the reported error
+//! is the first in suite order, not the first in wall-clock order).
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use lowvcc_sram::{CycleTimeModel, Millivolts};
 use lowvcc_trace::Trace;
@@ -8,6 +18,48 @@ use crate::config::{CoreConfig, Mechanism, SimConfig};
 use crate::error::SimError;
 use crate::sim::Simulator;
 use crate::stats::SimResult;
+
+/// Worker-thread count for suite execution.
+///
+/// `Parallelism::sequential()` (the default) runs in the calling thread;
+/// [`Parallelism::available`] sizes the pool to the machine. The output
+/// of every suite API is identical for any value — parallelism here is
+/// purely a wall-clock knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism(NonZeroUsize);
+
+impl Parallelism {
+    /// Run in the calling thread, no workers.
+    #[must_use]
+    pub const fn sequential() -> Self {
+        Self(NonZeroUsize::MIN)
+    }
+
+    /// Use exactly `threads` workers (clamped up to 1).
+    #[must_use]
+    pub fn threads(threads: usize) -> Self {
+        Self(NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"))
+    }
+
+    /// One worker per available hardware thread (1 when the machine
+    /// cannot report its parallelism).
+    #[must_use]
+    pub fn available() -> Self {
+        Self(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn count(self) -> usize {
+        self.0.get()
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
 
 /// Results of one configuration over a trace suite.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,17 +122,79 @@ pub struct Speedup {
     pub geomean: f64,
 }
 
-/// Runs `cfg` over every trace.
+/// Runs `cfg` over every trace in the calling thread.
 ///
 /// # Errors
 ///
 /// Propagates the first simulation error.
 pub fn run_suite(cfg: &SimConfig, traces: &[Trace]) -> Result<SuiteResult, SimError> {
+    run_suite_with(cfg, traces, Parallelism::sequential())
+}
+
+/// Runs `cfg` over every trace, fanning out across `par` scoped worker
+/// threads. Deterministic: the result (including which error is
+/// reported) is identical for any `par`.
+///
+/// # Errors
+///
+/// Propagates the suite-order-first simulation error.
+pub fn run_suite_with(
+    cfg: &SimConfig,
+    traces: &[Trace],
+    par: Parallelism,
+) -> Result<SuiteResult, SimError> {
     let sim = Simulator::new(cfg.clone())?;
+    let workers = par.count().min(traces.len());
+    if workers <= 1 {
+        let mut per_trace = Vec::with_capacity(traces.len());
+        for t in traces {
+            let r = sim.run(t)?;
+            per_trace.push((t.name.clone(), r));
+        }
+        return Ok(SuiteResult { per_trace });
+    }
+    // Work-stealing over the trace list: each worker claims the next
+    // unclaimed index and tags its results with it, so the merged output
+    // is reassembled in suite order regardless of completion order.
+    // `first_err` lets workers stop claiming traces *after* a known
+    // failure — indices below it always complete, so the suite-order
+    // error choice stays deterministic while the tail is cancelled.
+    let next = AtomicUsize::new(0);
+    let first_err = AtomicUsize::new(usize::MAX);
+    let mut tagged: Vec<(usize, Result<SimResult, SimError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(t) = traces.get(i) else {
+                            break;
+                        };
+                        if i > first_err.load(Ordering::Relaxed) {
+                            // Claims are monotone per worker: everything
+                            // this worker would claim next is even later.
+                            break;
+                        }
+                        let r = sim.run(t);
+                        if r.is_err() {
+                            first_err.fetch_min(i, Ordering::Relaxed);
+                        }
+                        out.push((i, r));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("suite worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
     let mut per_trace = Vec::with_capacity(traces.len());
-    for t in traces {
-        let r = sim.run(t)?;
-        per_trace.push((t.name.clone(), r));
+    for (i, r) in tagged {
+        per_trace.push((traces[i].name.clone(), r?));
     }
     Ok(SuiteResult { per_trace })
 }
@@ -125,7 +239,7 @@ pub struct MechanismComparison {
     pub speedup: Speedup,
 }
 
-/// Runs both mechanisms over the suite at `vcc`.
+/// Runs both mechanisms over the suite at `vcc` in the calling thread.
 ///
 /// # Errors
 ///
@@ -136,10 +250,26 @@ pub fn compare_mechanisms(
     vcc: Millivolts,
     traces: &[Trace],
 ) -> Result<MechanismComparison, SimError> {
+    compare_mechanisms_with(core, timing, vcc, traces, Parallelism::sequential())
+}
+
+/// Runs both mechanisms over the suite at `vcc`, each suite fanned out
+/// across `par` workers. Output is identical for any `par`.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn compare_mechanisms_with(
+    core: CoreConfig,
+    timing: &CycleTimeModel,
+    vcc: Millivolts,
+    traces: &[Trace],
+    par: Parallelism,
+) -> Result<MechanismComparison, SimError> {
     let base_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Baseline);
     let iraw_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Iraw);
-    let baseline = run_suite(&base_cfg, traces)?;
-    let iraw = run_suite(&iraw_cfg, traces)?;
+    let baseline = run_suite_with(&base_cfg, traces, par)?;
+    let iraw = run_suite_with(&iraw_cfg, traces, par)?;
     let speedup = speedup(&iraw, &baseline);
     Ok(MechanismComparison {
         vcc,
@@ -215,6 +345,32 @@ mod tests {
             diff < 0.3,
             "aggregates should roughly agree, diff {diff:.3}"
         );
+    }
+
+    #[test]
+    fn parallel_suite_is_byte_identical_to_sequential() {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let cfg = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(500),
+            Mechanism::Iraw,
+        );
+        let traces = small_suite();
+        let sequential = run_suite_with(&cfg, &traces, Parallelism::sequential()).unwrap();
+        for workers in [2, 3, 8] {
+            let parallel = run_suite_with(&cfg, &traces, Parallelism::threads(workers)).unwrap();
+            assert_eq!(sequential, parallel, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallelism_counts() {
+        assert_eq!(Parallelism::sequential().count(), 1);
+        assert_eq!(Parallelism::threads(0).count(), 1, "clamped");
+        assert_eq!(Parallelism::threads(6).count(), 6);
+        assert!(Parallelism::available().count() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::sequential());
     }
 
     #[test]

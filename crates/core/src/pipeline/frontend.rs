@@ -78,25 +78,42 @@ impl FrontEnd {
         self.decode_queue.is_empty()
     }
 
-    /// Pops up to `width` decode-complete uops for IQ allocation.
-    pub fn take_decoded(&mut self, width: usize, now: u64) -> Vec<DecodedUop> {
-        let mut out = Vec::new();
-        while out.len() < width {
-            match self.decode_queue.front() {
-                Some(d) if d.ready_at <= now => {
-                    out.push(*d);
-                    self.decode_queue.pop_front();
-                }
-                _ => break,
-            }
+    /// Pops the oldest decode-complete uop for IQ allocation, if any.
+    /// Called once per allocation slot — allocation-free on purpose (the
+    /// old width-at-a-time API built a `Vec` every cycle).
+    pub fn pop_decoded(&mut self, now: u64) -> Option<DecodedUop> {
+        match self.decode_queue.front() {
+            Some(d) if d.ready_at <= now => self.decode_queue.pop_front(),
+            _ => None,
         }
-        out
     }
 
     /// Returns the allocated-but-not-popped count (for drain decisions).
     #[must_use]
     pub fn queue_len(&self) -> usize {
         self.decode_queue.len()
+    }
+
+    /// Whether the decode queue is at capacity — fetch is a no-op until
+    /// allocation drains it.
+    #[must_use]
+    pub fn queue_full(&self) -> bool {
+        self.decode_queue.len() >= self.queue_cap
+    }
+
+    /// Cycle at which the oldest decoded uop becomes IQ-allocatable
+    /// (`ready_at` values are monotone in queue order, so the front is the
+    /// earliest). `None` on an empty queue.
+    #[must_use]
+    pub fn next_decode_ready(&self) -> Option<u64> {
+        self.decode_queue.front().map(|d| d.ready_at)
+    }
+
+    /// Cycle until which fetch is stalled (miss in flight or mispredict
+    /// redirect); fetch is active whenever `now >=` this.
+    #[must_use]
+    pub fn stalled_until(&self) -> u64 {
+        self.stalled_until
     }
 
     /// One fetch cycle: fetch up to `fetch_width` uops in trace order,
@@ -219,6 +236,12 @@ mod tests {
         (FrontEnd::new(&cfg), MemHierarchy::new(&cfg).unwrap())
     }
 
+    /// Test helper: the old width-at-a-time allocation API, expressed
+    /// over `pop_decoded`.
+    fn take_decoded(fe: &mut FrontEnd, width: usize, now: u64) -> Vec<DecodedUop> {
+        (0..width).map_while(|_| fe.pop_decoded(now)).collect()
+    }
+
     fn straight_line_trace(n: usize) -> Trace {
         let uops = (0..n).map(|i| Uop::nop(0x40_0000 + 4 * i as u64)).collect();
         Trace::new("straight", uops)
@@ -250,9 +273,9 @@ mod tests {
             now += 1;
         }
         // Nothing allocatable before the decode depth elapses.
-        assert!(fe.take_decoded(2, now).is_empty());
+        assert!(take_decoded(&mut fe, 2, now).is_empty());
         let later = now + 6;
-        let got = fe.take_decoded(2, later);
+        let got = take_decoded(&mut fe, 2, later);
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].trace_idx, 0);
     }
@@ -269,7 +292,7 @@ mod tests {
         let trace = Trace::new("loop", uops);
         for now in 0..5000u64 {
             fe.fetch_cycle(&trace, &mut mem, now);
-            let _ = fe.take_decoded(2, now);
+            let _ = take_decoded(&mut fe, 2, now);
             if fe.trace_exhausted(&trace) {
                 break;
             }
@@ -307,7 +330,7 @@ mod tests {
         let trace = Trace::new("callret", uops);
         for now in 0..5000u64 {
             fe.fetch_cycle(&trace, &mut mem, now);
-            let _ = fe.take_decoded(2, now);
+            let _ = take_decoded(&mut fe, 2, now);
             if fe.trace_exhausted(&trace) {
                 break;
             }
@@ -334,7 +357,7 @@ mod tests {
         let mut now = 0;
         while !fe.trace_exhausted(&trace) && now < 10_000 {
             fe.fetch_cycle(&trace, &mut mem, now);
-            let _ = fe.take_decoded(2, now);
+            let _ = take_decoded(&mut fe, 2, now);
             now += 1;
         }
         assert_eq!(fe.stats().bp_potential_corruptions, 0);

@@ -129,6 +129,14 @@ impl MemHierarchy {
         self.dl0_guard.free_at()
     }
 
+    /// First cycle after `now` at which [`MemHierarchy::dl0_blocked`]
+    /// changes value absent new fills (the guard window opening or
+    /// closing); `None` when settled. Fast-path wake-up bound.
+    #[must_use]
+    pub fn dl0_next_change(&self, now: u64) -> Option<u64> {
+        self.dl0_guard.next_change(now)
+    }
+
     /// Frees completed fill-buffer and WCB entries.
     pub fn tick(&mut self, now: u64) {
         let _ = self.fb.take_ready(now);

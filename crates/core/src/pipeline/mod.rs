@@ -85,7 +85,7 @@ enum Blocker {
 }
 
 /// The simulation engine for one (config, trace) pair.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Engine<'t> {
     cfg: SimConfig,
     trace: &'t Trace,
@@ -95,7 +95,10 @@ pub struct Engine<'t> {
     sb: Scoreboard,
     shadow: Scoreboard,
     stable: StoreTable,
-    pending: BinaryHeap<Reverse<(u64, u8)>>,
+    pending: BinaryHeap<Reverse<(u64, Reg)>>,
+    /// IRAW window of this run, fixed at construction (`None` when the
+    /// mechanism is off) — hoisted out of the per-cycle hot path.
+    window: Option<IrawWindow>,
     div_free_at: u64,
     fpdiv_free_at: u64,
     mem_port_free_at: u64,
@@ -106,6 +109,10 @@ pub struct Engine<'t> {
     /// The current IQ head has been blocked by the IRAW window at least
     /// once (consumed into `iraw_delayed_instructions` when it issues).
     head_iraw_delayed: bool,
+    /// Whether the last executed cycle's issue stage stopped on a blocked
+    /// entry (gate open). Purely a fast-path gate: cycles that issue
+    /// freely skip the skip analysis entirely.
+    issue_blocked: bool,
     now: u64,
     stats: SimStats,
 }
@@ -123,7 +130,12 @@ impl<'t> Engine<'t> {
         let mut stable = StoreTable::new(cfg.core.stable_max_entries);
         // Paper §4.4: enable as many entries as IRAW cycles require.
         stable.reconfigure(cfg.stabilization_cycles as usize);
+        let window = (cfg.stabilization_cycles > 0).then_some(IrawWindow {
+            bypass_levels: cfg.core.bypass_levels,
+            bubble: cfg.stabilization_cycles,
+        });
         Ok(Self {
+            window,
             fe,
             mem,
             iq: InstQueue::new(cfg.core.iq_entries),
@@ -139,6 +151,7 @@ impl<'t> Engine<'t> {
             store_this_cycle: None,
             iq_real_entries: 0,
             head_iraw_delayed: false,
+            issue_blocked: false,
             now: 0,
             stats: SimStats::default(),
             cfg,
@@ -146,20 +159,32 @@ impl<'t> Engine<'t> {
         })
     }
 
-    fn window(&self) -> Option<IrawWindow> {
-        (self.cfg.stabilization_cycles > 0).then_some(IrawWindow {
-            bypass_levels: self.cfg.core.bypass_levels,
-            bubble: self.cfg.stabilization_cycles,
-        })
-    }
-
-    /// Runs the simulation to completion.
+    /// Runs the simulation to completion on the event-driven fast path:
+    /// cycles in which issue, allocation and fetch are all provably idle
+    /// are skipped in O(1) (see [`Engine::try_skip`]). With
+    /// `debug_assertions` the skipped stretches are cross-checked against
+    /// the naive stepper cycle by cycle.
     ///
     /// # Errors
     ///
     /// Returns an error on invalid configuration or if the pipeline stops
     /// making progress (a simulator bug, surfaced rather than hung).
-    pub fn run(mut self) -> Result<SimResult, SimError> {
+    pub fn run(self) -> Result<SimResult, SimError> {
+        self.run_inner(true)
+    }
+
+    /// Runs the simulation stepping every cycle — the reference stepper
+    /// the fast path must match bit for bit. Kept public for the
+    /// equivalence suite and for bisecting fast-path bugs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::run`].
+    pub fn run_naive(self) -> Result<SimResult, SimError> {
+        self.run_inner(false)
+    }
+
+    fn run_inner(mut self, fast: bool) -> Result<SimResult, SimError> {
         let budget = 1_000 * self.trace.len() as u64 + 100_000;
         while !self.finished() {
             if self.now > budget {
@@ -170,6 +195,9 @@ impl<'t> Engine<'t> {
                 });
             }
             self.step();
+            if fast {
+                self.try_skip(budget);
+            }
         }
         self.stats.cycles = self.now;
         self.stats.branches = self.fe.stats();
@@ -199,14 +227,12 @@ impl<'t> Engine<'t> {
     fn step(&mut self) {
         let now = self.now;
         // 1. Long-latency completions (load misses, divides).
-        let window = self.window();
         while let Some(&Reverse((t, reg))) = self.pending.peek() {
             if t > now {
                 break;
             }
             self.pending.pop();
-            let reg = Reg::new(reg).expect("registers validated at issue");
-            self.sb.complete(reg, window);
+            self.sb.complete(reg, self.window);
             self.shadow.complete(reg, None);
         }
         // 2. Memory buffers.
@@ -223,12 +249,13 @@ impl<'t> Engine<'t> {
         // 5. Allocate into the IQ.
         let room = self.cfg.core.iq_entries - self.iq.occupancy();
         let width = self.cfg.core.alloc_width.min(room);
-        if width > 0 {
-            for d in self.fe.take_decoded(width, now) {
-                let entry = IqEntry::from_uop(&self.trace.uops[d.trace_idx]);
-                self.iq.alloc(entry).expect("room reserved above");
-                self.iq_real_entries += 1;
-            }
+        for _ in 0..width {
+            let Some(d) = self.fe.pop_decoded(now) else {
+                break;
+            };
+            let entry = IqEntry::from_uop(&self.trace.uops[d.trace_idx]);
+            self.iq.alloc(entry).expect("room reserved above");
+            self.iq_real_entries += 1;
         }
         // 6. Fetch.
         self.fe.fetch_cycle(self.trace, &mut self.mem, now);
@@ -256,7 +283,212 @@ impl<'t> Engine<'t> {
         self.now += 1;
     }
 
+    /// The event-driven fast path. Runs after [`Engine::step`] advanced to
+    /// cycle `self.now` and decides whether the next `k ≥ 1` cycles are
+    /// provably identical blocked-issue cycles — no completion lands, no
+    /// uop can issue, allocate or fetch — and if so applies their combined
+    /// effect in O(1) and jumps `now` forward.
+    ///
+    /// The invariant is that every input of the per-cycle decision stays
+    /// constant over the skipped stretch, so each skipped cycle would have
+    /// attributed the same stall to the same blocker and changed nothing
+    /// else. The wake-up cycle is therefore the minimum over every event
+    /// that can change one of those inputs: the next long-latency
+    /// completion, the next decoded uop becoming allocatable, fetch
+    /// resuming after a redirect/miss, any readiness toggle of the head's
+    /// sources on either scoreboard (IRAW bubbles open *and* close), and
+    /// the structural frees the head's kind consults. With
+    /// `debug_assertions` enabled, every skip is replayed on a cloned
+    /// engine with the naive stepper and the states are asserted equal.
+    fn try_skip(&mut self, budget: u64) {
+        let now = self.now;
+        // Two skippable shapes: a blocked IQ head behind an open gate, or
+        // an empty IQ waiting on the front end (redirect / IL0 miss).
+        // A closed gate over a non-empty IQ is not skippable: its stall
+        // attribution depends on the head's would-be blocker each cycle.
+        let head = match self.iq.front().copied() {
+            Some(head) => {
+                // Cheap gate: only cycles whose issue stage just stopped
+                // on a blocked entry are worth analysing.
+                if !self.issue_blocked {
+                    return;
+                }
+                if !self.iq.issue_allowed(
+                    self.cfg.core.issue_width,
+                    self.cfg.core.alloc_width,
+                    self.cfg.stabilization_cycles,
+                ) {
+                    return;
+                }
+                Some(head)
+            }
+            None => {
+                if self.finished() {
+                    return;
+                }
+                None
+            }
+        };
+        let blocker = match head {
+            Some(ref h) => match self.blocker_for(h, now) {
+                Some(b) => Some(b),
+                None => return,
+            },
+            None => None,
+        };
+        // `budget + 1` rather than infinity: a head blocked forever (a
+        // simulator bug) jumps straight past the budget and the run loop
+        // reports NoProgress, exactly like the naive stepper would.
+        let mut wake = budget.saturating_add(1);
+        let bound = |wake: &mut u64, t: u64| {
+            if t > now {
+                *wake = (*wake).min(t);
+            }
+        };
+        // Long-latency completions land at the head of `pending`.
+        if let Some(&Reverse((t, _))) = self.pending.peek() {
+            if t <= now {
+                return;
+            }
+            bound(&mut wake, t);
+        }
+        // IQ allocation: active the moment a decoded uop is ready while
+        // the IQ has room (issue being blocked or absent, room cannot
+        // grow mid-skip).
+        if self.iq.occupancy() < self.cfg.core.iq_entries {
+            if let Some(t) = self.fe.next_decode_ready() {
+                if t <= now {
+                    return;
+                }
+                bound(&mut wake, t);
+            }
+        }
+        // Fetch: quiescent only while redirect/miss-stalled, starved by an
+        // exhausted trace, or blocked on a full decode queue (which cannot
+        // drain before `wake` — allocation is bounded above).
+        if !self.fe.trace_exhausted(self.trace) && !self.fe.queue_full() {
+            let s = self.fe.stalled_until();
+            if s <= now {
+                return;
+            }
+            bound(&mut wake, s);
+        }
+        if let Some(ref head) = head {
+            // Readiness toggles of the head's sources, on both boards:
+            // they drive both the issue decision and the IRAW-vs-data-
+            // dependence classification. All-zero (long-latency) registers
+            // never toggle by shifting — their event is the pending
+            // completion above.
+            for src in head.src1.into_iter().chain(head.src2) {
+                if let Some(k) = self.sb.cycles_until_change(src) {
+                    bound(&mut wake, now + u64::from(k));
+                }
+                if let Some(k) = self.shadow.cycles_until_change(src) {
+                    bound(&mut wake, now + u64::from(k));
+                }
+            }
+            // Structural inputs consulted for this head's kind.
+            match head.kind {
+                UopKind::IntDiv => bound(&mut wake, self.div_free_at),
+                UopKind::FpDiv => bound(&mut wake, self.fpdiv_free_at),
+                k if k.is_mem() => {
+                    bound(&mut wake, self.mem_port_free_at);
+                    bound(&mut wake, self.repair_until);
+                    if let Some(t) = self.mem.dl0_next_change(now) {
+                        bound(&mut wake, t);
+                    }
+                }
+                _ => {}
+            }
+            if self.cfg.extra_write_port_cycles > 0 && head.dst.is_some() {
+                let latency = u64::from(self.cfg.core.latency_of(head.kind));
+                bound(
+                    &mut wake,
+                    self.write_ports.earliest_free().saturating_sub(latency),
+                );
+            }
+        }
+        let k = wake.saturating_sub(now);
+        if k == 0 {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        let reference = {
+            let mut r = self.clone();
+            for _ in 0..k {
+                r.step();
+            }
+            r
+        };
+        // Apply k cycles' worth of blocked-issue bookkeeping at once
+        // (idle front-end bubbles attribute nothing).
+        match blocker {
+            Some(Blocker::IrawWindow) => {
+                self.stats.stalls.rf_iraw += k;
+                self.head_iraw_delayed = true;
+            }
+            Some(Blocker::Dl0FillGuard) => self.stats.stalls.dl0_fill += k,
+            Some(Blocker::StableRepair) => self.stats.stalls.dl0_stable += k,
+            Some(Blocker::WritePort) => self.stats.write_port_stalls += k,
+            Some(Blocker::DataDependence | Blocker::Structural) | None => {}
+        }
+        if self.cfg.iraw_active() {
+            // No store can commit in a blocked cycle, so the Store Table
+            // sees k idle updates.
+            self.stable.advance_idle(k);
+        }
+        // Batched equivalents of the per-cycle ticks: buffer frees are
+        // monotone in time, lazy scoreboard shifts are O(1) deltas.
+        self.mem.tick(now + k - 1);
+        self.sb.advance(k);
+        self.shadow.advance(k);
+        self.now += k;
+        #[cfg(debug_assertions)]
+        self.assert_matches_reference(&reference);
+    }
+
+    /// Debug-only shadow check: after a skip, the engine must be in the
+    /// exact state the naive stepper reaches for the same cycles.
+    #[cfg(debug_assertions)]
+    fn assert_matches_reference(&self, r: &Self) {
+        assert_eq!(self.now, r.now, "fast path diverged: now");
+        assert_eq!(self.stats, r.stats, "fast path diverged: stats");
+        assert_eq!(self.iq, r.iq, "fast path diverged: IQ");
+        assert_eq!(self.iq_real_entries, r.iq_real_entries);
+        assert_eq!(self.head_iraw_delayed, r.head_iraw_delayed);
+        assert_eq!(self.div_free_at, r.div_free_at);
+        assert_eq!(self.fpdiv_free_at, r.fpdiv_free_at);
+        assert_eq!(self.mem_port_free_at, r.mem_port_free_at);
+        assert_eq!(self.repair_until, r.repair_until);
+        assert_eq!(self.stable, r.stable, "fast path diverged: STable");
+        assert_eq!(self.write_ports, r.write_ports);
+        let sorted = |h: &BinaryHeap<Reverse<(u64, Reg)>>| {
+            let mut v: Vec<_> = h.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(&self.pending), sorted(&r.pending));
+        for reg in Reg::all() {
+            assert_eq!(
+                self.sb.pattern(reg),
+                r.sb.pattern(reg),
+                "fast path diverged: scoreboard {reg:?}"
+            );
+            assert_eq!(
+                self.shadow.pattern(reg),
+                r.shadow.pattern(reg),
+                "fast path diverged: shadow scoreboard {reg:?}"
+            );
+        }
+        assert_eq!(self.mem.memory_accesses(), r.mem.memory_accesses());
+        assert_eq!(
+            self.mem.other_fill_stall_cycles(),
+            r.mem.other_fill_stall_cycles()
+        );
+    }
+
     fn issue_stage(&mut self, now: u64) {
+        self.issue_blocked = false;
         let gate_open = self.iq.issue_allowed(
             self.cfg.core.issue_width,
             self.cfg.core.alloc_width,
@@ -302,6 +534,7 @@ impl<'t> Engine<'t> {
                     // the bandwidth was lost at slot 0 (full stall) or a
                     // later slot (partial).
                     let _ = slot;
+                    self.issue_blocked = true;
                     self.attribute_stall(blocker);
                     if blocker == Blocker::IrawWindow {
                         // Mark the head so the 13.2% statistic counts it
@@ -328,14 +561,20 @@ impl<'t> Engine<'t> {
     /// Decides whether `entry` can issue at `now`; returns the dominant
     /// blocker otherwise.
     fn blocker_for(&self, entry: &IqEntry, now: u64) -> Option<Blocker> {
-        // Source readiness on both boards.
-        let mut real_ready = true;
-        let mut shadow_ready = true;
-        for src in entry.src1.into_iter().chain(entry.src2) {
-            real_ready &= self.sb.is_ready(src);
-            shadow_ready &= self.shadow.is_ready(src);
-        }
+        // Source readiness on the real board first; the shadow board is
+        // only consulted to classify an actual block (hot-path saving:
+        // ready sources never touch the shadow).
+        let real_ready = entry
+            .src1
+            .into_iter()
+            .chain(entry.src2)
+            .all(|src| self.sb.is_ready(src));
         if !real_ready {
+            let shadow_ready = entry
+                .src1
+                .into_iter()
+                .chain(entry.src2)
+                .all(|src| self.shadow.is_ready(src));
             return Some(if shadow_ready {
                 Blocker::IrawWindow
             } else {
@@ -370,7 +609,7 @@ impl<'t> Engine<'t> {
     }
 
     fn execute(&mut self, entry: &mut IqEntry, now: u64) {
-        let window = self.window();
+        let window = self.window;
         let latency = self.cfg.core.latency_of(entry.kind);
         // Extra Bypass: reserve the write port for the extended write.
         if self.cfg.extra_write_port_cycles > 0 && entry.dst.is_some() {
@@ -403,7 +642,7 @@ impl<'t> Engine<'t> {
         if let Some(dst) = dst {
             self.sb.mark_long_latency(dst);
             self.shadow.mark_long_latency(dst);
-            self.pending.push(Reverse((ready_at, dst.index())));
+            self.pending.push(Reverse((ready_at, dst)));
         }
     }
 
@@ -432,7 +671,7 @@ impl<'t> Engine<'t> {
         let hit_lat = u64::from(self.cfg.core.lat_dl0_hit);
         if ready_at <= now + hit_lat {
             let lat = (ready_at - now).max(1) as u32;
-            let window = self.window();
+            let window = self.window;
             self.sb.set_producer(dst, lat, window);
             self.shadow.set_producer(dst, lat, None);
         } else {
@@ -682,6 +921,68 @@ mod tests {
         // Divide latency (16) dominates this short trace.
         assert!(result.stats.cycles > 16);
         assert_eq!(result.stats.instructions, 22);
+    }
+
+    #[test]
+    fn fast_path_matches_naive_on_stall_heavy_traces() {
+        // Mixed divides and dependence chains: long skippable stalls.
+        let mut uops = Vec::new();
+        for i in 0..300usize {
+            let d = reg((16 + (i % 8)) as u8);
+            let mut div = Uop::alu(loop_pc(3 * i), Some(d), Some(reg(0)), None);
+            div.kind = UopKind::IntDiv;
+            uops.push(div);
+            uops.push(Uop::alu(loop_pc(3 * i + 1), Some(reg(40)), Some(d), None));
+            uops.push(Uop::alu(
+                loop_pc(3 * i + 2),
+                Some(reg(41)),
+                Some(reg(40)),
+                None,
+            ));
+        }
+        let trace = Trace::new("divchain", uops);
+        for mech in [Mechanism::Baseline, Mechanism::Iraw, Mechanism::IdealLogic] {
+            for vcc in [400, 500, 700] {
+                let fast = Engine::new(cfg(mech, vcc), &trace).unwrap().run().unwrap();
+                let naive = Engine::new(cfg(mech, vcc), &trace)
+                    .unwrap()
+                    .run_naive()
+                    .unwrap();
+                assert_eq!(fast.stats, naive.stats, "{mech:?} at {vcc} mV");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_naive_with_memory_traffic() {
+        let mut uops = Vec::new();
+        // Strided loads (DL0 + UL1 misses) feeding consumers, with stores.
+        for i in 0..400u64 {
+            let addr = 0x10_0000 + i * 256;
+            uops.push(Uop::load(loop_pc(3 * i as usize), reg(20), None, addr, 8));
+            uops.push(Uop::alu(
+                loop_pc(3 * i as usize + 1),
+                Some(reg(21)),
+                Some(reg(20)),
+                None,
+            ));
+            uops.push(Uop::store(
+                loop_pc(3 * i as usize + 2),
+                Some(reg(21)),
+                None,
+                addr,
+                8,
+            ));
+        }
+        let trace = Trace::new("memstream", uops);
+        for mech in [Mechanism::Baseline, Mechanism::Iraw] {
+            let fast = Engine::new(cfg(mech, 500), &trace).unwrap().run().unwrap();
+            let naive = Engine::new(cfg(mech, 500), &trace)
+                .unwrap()
+                .run_naive()
+                .unwrap();
+            assert_eq!(fast.stats, naive.stats, "{mech:?}");
+        }
     }
 
     #[test]

@@ -56,6 +56,18 @@ impl Simulator {
     pub fn run(&self, trace: &Trace) -> Result<SimResult, SimError> {
         Engine::new(self.cfg.clone(), trace)?.run()
     }
+
+    /// Replays `trace` on the naive cycle-by-cycle reference stepper —
+    /// the semantics [`Simulator::run`]'s event-driven fast path must
+    /// reproduce bit for bit. Several times slower; exists for the
+    /// equivalence suite and for bisecting fast-path regressions.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::run`].
+    pub fn run_naive(&self, trace: &Trace) -> Result<SimResult, SimError> {
+        Engine::new(self.cfg.clone(), trace)?.run_naive()
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,13 @@ impl std::error::Error for BufferFull {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimedBuffer {
     slots: Vec<Option<(u64, u64)>>, // (line, ready_at)
+    /// Earliest `ready_at` among occupied slots (`u64::MAX` when empty):
+    /// lets the per-cycle [`TimedBuffer::take_ready`] poll exit in O(1)
+    /// on the overwhelmingly common nothing-completes cycle.
+    next_ready: u64,
+    /// Occupied-slot count, so occupancy/fullness checks on the access
+    /// hot path are O(1) instead of slot scans.
+    occupied: usize,
     allocations: u64,
     full_rejections: u64,
 }
@@ -52,6 +59,8 @@ impl TimedBuffer {
         assert!(entries > 0, "buffer needs at least one entry");
         Self {
             slots: vec![None; entries],
+            next_ready: u64::MAX,
+            occupied: 0,
             allocations: 0,
             full_rejections: 0,
         }
@@ -66,24 +75,27 @@ impl TimedBuffer {
     /// Occupied entries.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().flatten().count()
+        self.occupied
     }
 
     /// Whether the buffer is full.
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.occupancy() == self.slots.len()
+        self.occupied == self.slots.len()
     }
 
     /// Whether `line` is already in flight (secondary-miss merge).
     #[must_use]
     pub fn contains(&self, line: u64) -> bool {
-        self.slots.iter().flatten().any(|&(l, _)| l == line)
+        self.occupied > 0 && self.slots.iter().flatten().any(|&(l, _)| l == line)
     }
 
     /// Cycle at which `line` completes, if in flight.
     #[must_use]
     pub fn ready_at(&self, line: u64) -> Option<u64> {
+        if self.occupied == 0 {
+            return None;
+        }
         self.slots
             .iter()
             .flatten()
@@ -100,11 +112,14 @@ impl TimedBuffer {
     pub fn allocate(&mut self, line: u64, ready_at: u64) -> Result<(), BufferFull> {
         if let Some(slot) = self.slots.iter_mut().flatten().find(|(l, _)| *l == line) {
             slot.1 = slot.1.min(ready_at);
+            self.next_ready = self.next_ready.min(slot.1);
             return Ok(());
         }
         match self.slots.iter_mut().find(|s| s.is_none()) {
             Some(slot) => {
                 *slot = Some((line, ready_at));
+                self.next_ready = self.next_ready.min(ready_at);
+                self.occupied += 1;
                 self.allocations += 1;
                 Ok(())
             }
@@ -116,16 +131,25 @@ impl TimedBuffer {
     }
 
     /// Removes and returns every line whose completion cycle has arrived.
+    /// O(1) on cycles where nothing completes.
     pub fn take_ready(&mut self, now: u64) -> Vec<u64> {
+        if self.next_ready > now {
+            return Vec::new();
+        }
         let mut ready = Vec::new();
+        let mut remaining_min = u64::MAX;
         for slot in &mut self.slots {
             if let Some((line, at)) = *slot {
                 if at <= now {
                     ready.push(line);
                     *slot = None;
+                    self.occupied -= 1;
+                } else {
+                    remaining_min = remaining_min.min(at);
                 }
             }
         }
+        self.next_ready = remaining_min;
         ready
     }
 
@@ -147,6 +171,8 @@ impl TimedBuffer {
         for s in &mut self.slots {
             *s = None;
         }
+        self.next_ready = u64::MAX;
+        self.occupied = 0;
     }
 }
 
@@ -229,6 +255,21 @@ impl StallGuard {
         }
     }
 
+    /// First cycle after `now` at which [`StallGuard::is_stalled`] changes
+    /// value, absent new fills — the window opening (a fill completing in
+    /// the future) or closing. `None` when the guard's answer is settled.
+    #[must_use]
+    pub fn next_change(&self, now: u64) -> Option<u64> {
+        if self.n == 0 {
+            return None;
+        }
+        match self.window {
+            Some((start, _)) if now < start => Some(start),
+            Some((_, end)) if now <= end => Some(end + 1),
+            _ => None,
+        }
+    }
+
     /// Number of fills that armed the guard.
     #[must_use]
     pub fn stall_events(&self) -> u64 {
@@ -302,6 +343,20 @@ mod tests {
         assert!(!g.is_stalled(103));
         assert_eq!(g.free_at(), 103);
         assert_eq!(g.stall_events(), 1);
+    }
+
+    #[test]
+    fn stall_guard_next_change_brackets_the_window() {
+        let mut g = StallGuard::new(2);
+        assert_eq!(g.next_change(5), None);
+        g.on_fill(100);
+        // Before the fill lands: the window opens at 100…
+        assert_eq!(g.next_change(50), Some(100));
+        // …inside it: closes at 103…
+        assert_eq!(g.next_change(100), Some(103));
+        assert_eq!(g.next_change(102), Some(103));
+        // …after: settled.
+        assert_eq!(g.next_change(103), None);
     }
 
     #[test]

@@ -107,6 +107,13 @@ impl PortSet {
     pub fn free_count(&self, cycle: u64) -> usize {
         self.ports.iter().filter(|p| !p.is_busy(cycle)).count()
     }
+
+    /// Earliest cycle at which any port is (or becomes) free — the wake-up
+    /// bound for a caller blocked on an all-busy set.
+    #[must_use]
+    pub fn earliest_free(&self) -> u64 {
+        self.ports.iter().map(Port::free_at).min().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +149,16 @@ mod tests {
         assert_eq!(set.free_count(0), 0);
         assert!(set.try_reserve(4, 1));
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn earliest_free_is_the_unblock_cycle() {
+        let mut set = PortSet::new(2);
+        assert_eq!(set.earliest_free(), 0);
+        assert!(set.try_reserve(0, 4));
+        assert!(set.try_reserve(0, 7));
+        assert_eq!(set.earliest_free(), 4);
+        assert_eq!(set.free_count(set.earliest_free()), 1);
     }
 
     #[test]

@@ -13,6 +13,17 @@
 //! write is still stabilizing), then ones. For a 3-cycle producer, one
 //! bypass level and `N = 1`, the register is initialized to `0001011` —
 //! the exact Figure 8 bit pattern.
+//!
+//! **Representation:** the hardware shifts every register every cycle, but
+//! simulating that is O(registers) per cycle. This model is *lazy*: each
+//! register stores the pattern as written plus the cycle it was written
+//! at, and readers shift by the elapsed delta on access. Shifting keeps
+//! the least significant bit, so after `width` cycles a pattern saturates
+//! to all-ones (sticky LSB 1) or all-zeros (LSB 0) — which makes the
+//! delta shift O(1) regardless of how long ago the pattern was written.
+//! [`Scoreboard::tick`] is a counter increment and
+//! [`Scoreboard::advance`] jumps any number of cycles at the same cost,
+//! which is what the engine's cycle-skipping fast path leans on.
 
 use lowvcc_trace::Reg;
 
@@ -30,10 +41,29 @@ pub struct IrawWindow {
     pub bubble: u32,
 }
 
-/// One register's shift register.
+/// One register's shift register, stored lazily: `bits` is the pattern as
+/// of cycle `written_at`; the current pattern is `bits` shifted by the
+/// cycles elapsed since.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ShiftReg {
     bits: u32,
+    written_at: u64,
+}
+
+/// Shifts `bits` left by `delta` cycles, keeping the sticky LSB, within
+/// `width`/`mask`. O(1) for any delta: past `width` shifts the pattern is
+/// saturated by its LSB.
+fn shift_by(bits: u32, delta: u64, width: u32, mask: u32) -> u32 {
+    if delta == 0 {
+        return bits;
+    }
+    let sticky = bits & 1;
+    if delta >= u64::from(width) {
+        return if sticky == 1 { mask } else { 0 };
+    }
+    let d = delta as u32;
+    let fill = if sticky == 1 { (1 << d) - 1 } else { 0 };
+    ((bits << d) | fill) & mask
 }
 
 /// The scoreboard: one shift register per logical register.
@@ -62,6 +92,7 @@ pub struct Scoreboard {
     regs: Vec<ShiftReg>,
     width: u32,
     mask: u32,
+    now: u64,
 }
 
 impl Scoreboard {
@@ -82,9 +113,16 @@ impl Scoreboard {
             (1 << width) - 1
         };
         Self {
-            regs: vec![ShiftReg { bits: mask }; usize::from(lowvcc_trace::NUM_REGS)],
+            regs: vec![
+                ShiftReg {
+                    bits: mask,
+                    written_at: 0
+                };
+                usize::from(lowvcc_trace::NUM_REGS)
+            ],
             width,
             mask,
+            now: 0,
         }
     }
 
@@ -94,17 +132,23 @@ impl Scoreboard {
         self.width
     }
 
+    /// The pattern of `reg` as seen this cycle.
+    fn current_bits(&self, reg: Reg) -> u32 {
+        let r = self.regs[usize::from(reg.index())];
+        shift_by(r.bits, self.now - r.written_at, self.width, self.mask)
+    }
+
     /// Whether a consumer of `reg` may issue this cycle (the MSB).
     #[must_use]
     pub fn is_ready(&self, reg: Reg) -> bool {
-        self.regs[usize::from(reg.index())].bits >> (self.width - 1) & 1 == 1
+        self.current_bits(reg) >> (self.width - 1) & 1 == 1
     }
 
     /// Raw pattern of `reg`'s shift register (LSB-aligned; for tests and
     /// debug displays).
     #[must_use]
     pub fn pattern(&self, reg: Reg) -> u32 {
-        self.regs[usize::from(reg.index())].bits
+        self.current_bits(reg)
     }
 
     /// Builds the MSB-first producer pattern
@@ -124,20 +168,14 @@ impl Scoreboard {
             // forever. Fall back to long-latency (completion-event) mode.
             return 0;
         }
-        let mut bits: u32 = 0;
-        let mut pos = self.width; // MSB-first cursor
-        let push = |count: u32, value: u32, bits: &mut u32, pos: &mut u32| {
-            for _ in 0..count {
-                *pos -= 1;
-                *bits |= value << *pos;
-            }
-        };
-        push(latency, 0, &mut bits, &mut pos);
-        if iraw.is_some() {
-            push(bypass, 1, &mut bits, &mut pos);
-            push(bubble, 0, &mut bits, &mut pos);
+        // All-ones, minus the `latency` zeros at the MSB end, minus the
+        // `bubble` zeros sitting `bypass` positions below them. Branch-free
+        // on the issue hot path (this runs for every producer).
+        let mut bits = self.mask >> latency;
+        if bubble > 0 {
+            let shift = self.width - latency - bypass - bubble;
+            bits &= !(((1 << bubble) - 1) << shift);
         }
-        push(pos, 1, &mut bits, &mut pos); // remaining ones
         bits & self.mask
     }
 
@@ -149,12 +187,18 @@ impl Scoreboard {
     /// value arrives.
     pub fn set_producer(&mut self, reg: Reg, latency: u32, iraw: Option<IrawWindow>) {
         let bits = self.build_pattern(latency, iraw);
-        self.regs[usize::from(reg.index())].bits = bits;
+        self.regs[usize::from(reg.index())] = ShiftReg {
+            bits,
+            written_at: self.now,
+        };
     }
 
     /// Marks `reg` long-latency (all zeros) pending a completion event.
     pub fn mark_long_latency(&mut self, reg: Reg) {
-        self.regs[usize::from(reg.index())].bits = 0;
+        self.regs[usize::from(reg.index())] = ShiftReg {
+            bits: 0,
+            written_at: self.now,
+        };
     }
 
     /// Completion event for a long-latency producer (load miss return,
@@ -163,21 +207,31 @@ impl Scoreboard {
     /// entry still stabilizes for `bubble` cycles.
     pub fn complete(&mut self, reg: Reg, iraw: Option<IrawWindow>) {
         let bits = self.build_pattern(0, iraw);
-        self.regs[usize::from(reg.index())].bits = bits;
+        self.regs[usize::from(reg.index())] = ShiftReg {
+            bits,
+            written_at: self.now,
+        };
     }
 
     /// Advances one cycle: every register shifts left, keeping its LSB.
+    /// With the lazy representation this is a single counter increment.
     pub fn tick(&mut self) {
-        for r in &mut self.regs {
-            r.bits = ((r.bits << 1) | (r.bits & 1)) & self.mask;
-        }
+        self.now += 1;
+    }
+
+    /// Advances `cycles` at once — same O(1) cost as one [`tick`].
+    /// The engine's cycle-skipping fast path jumps stalls with this.
+    ///
+    /// [`tick`]: Scoreboard::tick
+    pub fn advance(&mut self, cycles: u64) {
+        self.now += cycles;
     }
 
     /// Cycles until `reg` becomes ready, scanning from the MSB
     /// (`0` when ready now; `width` when all-zero / long-latency).
     #[must_use]
     pub fn cycles_until_ready(&self, reg: Reg) -> u32 {
-        let bits = self.regs[usize::from(reg.index())].bits;
+        let bits = self.current_bits(reg);
         for k in 0..self.width {
             if bits >> (self.width - 1 - k) & 1 == 1 {
                 return k;
@@ -186,10 +240,29 @@ impl Scoreboard {
         self.width
     }
 
+    /// Cycles until the *readiness* of `reg` next changes value, in either
+    /// direction (a bubble closing counts as much as a producer arriving).
+    /// `None` means the register holds its current readiness forever
+    /// absent a new write — all-ones, or all-zeros awaiting a completion
+    /// event. The engine's fast path uses this to bound how far it may
+    /// skip while the issue decision provably cannot change.
+    #[must_use]
+    pub fn cycles_until_change(&self, reg: Reg) -> Option<u32> {
+        let bits = self.current_bits(reg);
+        let cur = bits >> (self.width - 1) & 1;
+        // The readiness observed k cycles from now is bit width-1-k; from
+        // k = width-1 onwards it is the sticky LSB, so scanning the word
+        // once covers the whole future.
+        (1..self.width).find(|&k| bits >> (self.width - 1 - k) & 1 != cur)
+    }
+
     /// Resets every register to ready (pipeline flush).
     pub fn flush(&mut self) {
         for r in &mut self.regs {
-            r.bits = self.mask;
+            *r = ShiftReg {
+                bits: self.mask,
+                written_at: self.now,
+            };
         }
     }
 }
@@ -366,6 +439,72 @@ mod tests {
     #[should_panic(expected = "width")]
     fn zero_width_rejected() {
         let _ = Scoreboard::new(0);
+    }
+
+    #[test]
+    fn advance_matches_repeated_ticks() {
+        let w = IrawWindow {
+            bypass_levels: 1,
+            bubble: 1,
+        };
+        for jump in [1u64, 2, 3, 5, 7, 32, 1000] {
+            let mut ticked = Scoreboard::new(7);
+            let mut jumped = Scoreboard::new(7);
+            ticked.set_producer(r(1), 3, Some(w));
+            jumped.set_producer(r(1), 3, Some(w));
+            for _ in 0..jump {
+                ticked.tick();
+            }
+            jumped.advance(jump);
+            assert_eq!(ticked.pattern(r(1)), jumped.pattern(r(1)), "jump {jump}");
+            assert_eq!(ticked.is_ready(r(1)), jumped.is_ready(r(1)));
+        }
+    }
+
+    #[test]
+    fn lazy_patterns_saturate_by_lsb() {
+        let mut sb = Scoreboard::new(7);
+        sb.set_producer(r(0), 3, None); // LSB 1 → saturates to all-ones
+        sb.mark_long_latency(r(1)); // LSB 0 → stays all-zeros
+        sb.advance(100);
+        assert_eq!(sb.pattern(r(0)), 0b111_1111);
+        assert_eq!(sb.pattern(r(1)), 0);
+    }
+
+    #[test]
+    fn cycles_until_change_tracks_toggles() {
+        let mut sb = Scoreboard::new(7);
+        sb.set_producer(
+            r(2),
+            3,
+            Some(IrawWindow {
+                bypass_levels: 1,
+                bubble: 1,
+            }),
+        );
+        // 0001011: not ready now, first change (→ready) in 3 cycles.
+        assert_eq!(sb.cycles_until_change(r(2)), Some(3));
+        sb.advance(3);
+        // 1011111: ready now, bubble (→blocked) next cycle.
+        assert_eq!(sb.cycles_until_change(r(2)), Some(1));
+        sb.tick();
+        assert_eq!(sb.cycles_until_change(r(2)), Some(1));
+        sb.tick();
+        // 1111111: ready forever.
+        assert_eq!(sb.cycles_until_change(r(2)), None);
+        sb.mark_long_latency(r(2));
+        // All zeros: blocked until a completion event, never by shifting.
+        assert_eq!(sb.cycles_until_change(r(2)), None);
+    }
+
+    #[test]
+    fn writes_after_advance_use_the_current_cycle() {
+        let mut sb = Scoreboard::new(7);
+        sb.advance(500);
+        sb.set_producer(r(3), 3, None);
+        assert_eq!(sb.pattern(r(3)), 0b0001111);
+        sb.tick();
+        assert_eq!(sb.pattern(r(3)), 0b0011111);
     }
 
     #[test]

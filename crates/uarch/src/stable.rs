@@ -172,6 +172,31 @@ impl StoreTable {
         self.cursor = (self.cursor + 1) % self.enabled;
     }
 
+    /// Advances `cycles` store-less cycles at once — equivalent to that
+    /// many [`StoreTable::cycle_update`]`(None)` calls, but O(entries):
+    /// the round-robin cursor sweeps forward invalidating the slots it
+    /// passes (all of them once `cycles` covers a full lap). Used by the
+    /// engine's cycle-skipping fast path, which only skips cycles in which
+    /// no store can commit.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        if self.enabled == 0 || cycles == 0 {
+            return;
+        }
+        let n = self.enabled as u64;
+        if cycles >= n {
+            for slot in &mut self.slots[..self.enabled] {
+                *slot = None;
+            }
+        } else {
+            for _ in 0..cycles {
+                self.slots[self.cursor] = None;
+                self.cursor = (self.cursor + 1) % self.enabled;
+            }
+            return;
+        }
+        self.cursor = ((self.cursor as u64 + cycles) % n) as usize;
+    }
+
     /// Probes a load against the enabled entries.
     pub fn probe(&mut self, addr: u64, size: u8, set: u64) -> StableMatch {
         self.stats.probes += 1;
@@ -304,6 +329,34 @@ mod tests {
         st.cycle_update(None);
         st.cycle_update(None); // wraps around, invalidating the store's slot
         assert_eq!(st.probe(0x1000, 8, 1), StableMatch::None);
+    }
+
+    #[test]
+    fn advance_idle_matches_repeated_none_updates() {
+        for idle in [0u64, 1, 2, 3, 7, 100] {
+            let mut looped = StoreTable::new(2);
+            let mut jumped = StoreTable::new(2);
+            for st in [&mut looped, &mut jumped] {
+                st.cycle_update(Some(store(0x1000, 1)));
+            }
+            for _ in 0..idle {
+                looped.cycle_update(None);
+            }
+            jumped.advance_idle(idle);
+            assert_eq!(looped, jumped, "idle {idle}");
+            // And the next committing store lands in the same slot.
+            looped.cycle_update(Some(store(0x2000, 2)));
+            jumped.cycle_update(Some(store(0x2000, 2)));
+            assert_eq!(looped, jumped, "idle {idle} + store");
+        }
+    }
+
+    #[test]
+    fn advance_idle_noop_when_disabled() {
+        let mut st = StoreTable::new(2);
+        st.reconfigure(0);
+        st.advance_idle(10);
+        assert_eq!(st.enabled_entries(), 0);
     }
 
     #[test]

@@ -45,6 +45,10 @@ impl TlbStats {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tlb {
     entries: Vec<Option<(u64, u64)>>, // (vpn, last_use)
+    /// Slot of the most recent hit: page locality makes the next access
+    /// overwhelmingly likely to land there, turning the linear scan into
+    /// an O(1) probe on the hot path.
+    mru: usize,
     clock: u64,
     stats: TlbStats,
 }
@@ -60,6 +64,7 @@ impl Tlb {
         assert!(entries > 0, "TLB needs at least one entry");
         Self {
             entries: vec![None; entries],
+            mru: 0,
             clock: 0,
             stats: TlbStats::default(),
         }
@@ -82,11 +87,21 @@ impl Tlb {
         self.clock += 1;
         self.stats.accesses += 1;
         let vpn = Self::vpn(addr);
-        for entry in self.entries.iter_mut().flatten() {
+        if let Some(entry) = &mut self.entries[self.mru] {
             if entry.0 == vpn {
                 entry.1 = self.clock;
                 self.stats.hits += 1;
                 return true;
+            }
+        }
+        for (idx, entry) in self.entries.iter_mut().enumerate() {
+            if let Some(entry) = entry {
+                if entry.0 == vpn {
+                    entry.1 = self.clock;
+                    self.mru = idx;
+                    self.stats.hits += 1;
+                    return true;
+                }
             }
         }
         self.stats.misses += 1;

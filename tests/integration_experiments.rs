@@ -111,7 +111,7 @@ fn stall_attribution_rf_dominates() {
 fn full_report_generates_and_writes_csvs() {
     let dir = std::env::temp_dir().join("lowvcc_it_results");
     let _ = std::fs::remove_dir_all(&dir);
-    let report = run_all(&ctx(), &dir).expect("all experiments run");
+    let summary = run_all(&ctx(), &dir).expect("all experiments run");
     for section in [
         "Figure 1",
         "Figure 11a",
@@ -121,8 +121,18 @@ fn full_report_generates_and_writes_csvs() {
         "stall attribution",
         "Scalar results",
     ] {
-        assert!(report.contains(section), "missing section {section}");
+        assert!(
+            summary.report.contains(section),
+            "missing section {section}"
+        );
     }
+    // The machine-readable side carries the sweep and its throughput.
+    assert_eq!(summary.sweep.len(), 13);
+    assert!(summary.sweep_uops > 0);
+    assert!(summary.uops_per_second() > 0.0);
+    let json = summary.to_json("it (7×2k)", 14_000, 1);
+    assert!(json.contains("\"uops_per_second\""));
+    assert!(json.contains("\"vcc_mv\": 500"));
     for csv in [
         "fig1.csv",
         "fig11a.csv",
