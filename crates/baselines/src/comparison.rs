@@ -7,7 +7,9 @@
 //! rows reproduce the published table verbatim; [`quantitative_table`]
 //! backs each claim with measured numbers at a chosen voltage.
 
-use lowvcc_core::{run_suite_with, CoreConfig, Mechanism, Parallelism, SimConfig, SimError};
+use lowvcc_core::{
+    run_suite_with, CoreConfig, Mechanism, Parallelism, SimConfig, SimError, SuiteResult,
+};
 use lowvcc_energy::{ExtraBypassOverhead, FaultyBitsOverhead, IrawOverhead};
 use lowvcc_sram::{CycleTimeModel, Millivolts};
 use lowvcc_trace::Trace;
@@ -82,6 +84,116 @@ pub struct QuantRow {
     pub hard_to_test: bool,
 }
 
+/// One technique of the quantitative comparison: its name, the exact
+/// [`SimConfig`] it runs under, and its bookkept overheads.
+///
+/// Exposing the configuration (rather than only running it) lets
+/// callers route each suite run through their own executor — the bench
+/// crate's result cache replays Table 1 without re-simulating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechniqueConfig {
+    /// Technique name (row label).
+    pub name: &'static str,
+    /// The configuration the technique runs under.
+    pub cfg: SimConfig,
+    /// Extra area as a fraction of core SRAM.
+    pub area_fraction: f64,
+    /// Dynamic-energy multiplier of the extra hardware.
+    pub energy_factor: f64,
+    /// Testing indeterminism?
+    pub hard_to_test: bool,
+}
+
+/// The six techniques of the quantitative Table 1 companion at `vcc`,
+/// in row order. The first entry is always the write-limited baseline —
+/// [`rows_from_results`] uses it as the reference.
+#[must_use]
+pub fn technique_configs(
+    core: CoreConfig,
+    timing: &CycleTimeModel,
+    vcc: Millivolts,
+) -> Vec<TechniqueConfig> {
+    let fb_real = FaultyBitsDesign::four_sigma(FaultyBitsScope::CachesOnly);
+    let fb_hyp = FaultyBitsDesign::four_sigma(FaultyBitsScope::AllBlocksHypothetical);
+    let eb_real = ExtraBypassDesign::two_cycle(ExtraBypassScope::RegisterFileOnly);
+    let eb_hyp = ExtraBypassDesign::two_cycle(ExtraBypassScope::AllBlocksHypothetical);
+    vec![
+        TechniqueConfig {
+            name: "baseline (6-sigma write-limited)",
+            cfg: SimConfig::at_vcc(core, timing, vcc, Mechanism::Baseline),
+            area_fraction: 0.0,
+            energy_factor: 1.0,
+            hard_to_test: false,
+        },
+        TechniqueConfig {
+            name: "faulty bits 4-sigma (caches only, realistic)",
+            cfg: fb_real.sim_config(core, timing, vcc, 1),
+            area_fraction: FaultyBitsOverhead::silverthorne().area_fraction(),
+            energy_factor: 1.0,
+            hard_to_test: true,
+        },
+        TechniqueConfig {
+            name: "faulty bits 4-sigma (all blocks, hypothetical)",
+            cfg: fb_hyp.sim_config(core, timing, vcc, 1),
+            area_fraction: FaultyBitsOverhead::silverthorne().area_fraction(),
+            energy_factor: 1.0,
+            hard_to_test: true,
+        },
+        TechniqueConfig {
+            name: "extra bypass (RF only, realistic)",
+            cfg: eb_real.sim_config(core, timing, vcc),
+            area_fraction: ExtraBypassOverhead::silverthorne().area_fraction(),
+            energy_factor: ExtraBypassOverhead::silverthorne().dynamic_energy_factor(),
+            hard_to_test: false,
+        },
+        TechniqueConfig {
+            name: "extra bypass (all blocks, hypothetical)",
+            cfg: eb_hyp.sim_config(core, timing, vcc),
+            area_fraction: ExtraBypassOverhead::silverthorne().area_fraction(),
+            energy_factor: ExtraBypassOverhead::silverthorne().dynamic_energy_factor(),
+            hard_to_test: false,
+        },
+        TechniqueConfig {
+            name: "IRAW avoidance (this paper)",
+            cfg: SimConfig::at_vcc(core, timing, vcc, Mechanism::Iraw),
+            area_fraction: IrawOverhead::silverthorne().area_fraction(),
+            energy_factor: IrawOverhead::silverthorne().dynamic_energy_factor(),
+            hard_to_test: false,
+        },
+    ]
+}
+
+/// Assembles the quantitative rows from suite results paired one-to-one
+/// with [`technique_configs`] output (`suites[0]` must be the baseline).
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or the two slices differ in length.
+#[must_use]
+pub fn rows_from_results(configs: &[TechniqueConfig], suites: &[SuiteResult]) -> Vec<QuantRow> {
+    assert_eq!(
+        configs.len(),
+        suites.len(),
+        "one suite result per technique"
+    );
+    let base_cfg = &configs.first().expect("baseline row present").cfg;
+    let base_time = suites[0].total_seconds();
+    let base_ipc = suites[0].aggregate_ipc();
+    configs
+        .iter()
+        .zip(suites)
+        .map(|(tc, suite)| QuantRow {
+            technique: tc.name.to_string(),
+            frequency_gain: base_cfg.cycle_time / tc.cfg.cycle_time,
+            speedup: base_time / suite.total_seconds(),
+            relative_ipc: suite.aggregate_ipc() / base_ipc,
+            area_fraction: tc.area_fraction,
+            energy_factor: tc.energy_factor,
+            hard_to_test: tc.hard_to_test,
+        })
+        .collect()
+}
+
 /// Measures every technique at `vcc` over `traces`.
 ///
 /// Rows: write-limited baseline (reference), realistic Faulty Bits
@@ -114,85 +226,12 @@ pub fn quantitative_table_with(
     traces: &[Trace],
     par: Parallelism,
 ) -> Result<Vec<QuantRow>, SimError> {
-    let base_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Baseline);
-    let base = run_suite_with(&base_cfg, traces, par)?;
-    let base_time = base.total_seconds();
-    let base_ipc = base.aggregate_ipc();
-
-    let mut rows = Vec::new();
-    let mut push = |name: &str,
-                    cfg: SimConfig,
-                    area: f64,
-                    energy: f64,
-                    hard_to_test: bool|
-     -> Result<(), SimError> {
-        let suite = run_suite_with(&cfg, traces, par)?;
-        rows.push(QuantRow {
-            technique: name.to_string(),
-            frequency_gain: base_cfg.cycle_time / cfg.cycle_time,
-            speedup: base_time / suite.total_seconds(),
-            relative_ipc: suite.aggregate_ipc() / base_ipc,
-            area_fraction: area,
-            energy_factor: energy,
-            hard_to_test,
-        });
-        Ok(())
-    };
-
-    push(
-        "baseline (6-sigma write-limited)",
-        base_cfg.clone(),
-        0.0,
-        1.0,
-        false,
-    )?;
-
-    let fb_real = FaultyBitsDesign::four_sigma(FaultyBitsScope::CachesOnly);
-    push(
-        "faulty bits 4-sigma (caches only, realistic)",
-        fb_real.sim_config(core, timing, vcc, 1),
-        FaultyBitsOverhead::silverthorne().area_fraction(),
-        1.0,
-        true,
-    )?;
-
-    let fb_hyp = FaultyBitsDesign::four_sigma(FaultyBitsScope::AllBlocksHypothetical);
-    push(
-        "faulty bits 4-sigma (all blocks, hypothetical)",
-        fb_hyp.sim_config(core, timing, vcc, 1),
-        FaultyBitsOverhead::silverthorne().area_fraction(),
-        1.0,
-        true,
-    )?;
-
-    let eb_real = ExtraBypassDesign::two_cycle(ExtraBypassScope::RegisterFileOnly);
-    push(
-        "extra bypass (RF only, realistic)",
-        eb_real.sim_config(core, timing, vcc),
-        ExtraBypassOverhead::silverthorne().area_fraction(),
-        ExtraBypassOverhead::silverthorne().dynamic_energy_factor(),
-        false,
-    )?;
-
-    let eb_hyp = ExtraBypassDesign::two_cycle(ExtraBypassScope::AllBlocksHypothetical);
-    push(
-        "extra bypass (all blocks, hypothetical)",
-        eb_hyp.sim_config(core, timing, vcc),
-        ExtraBypassOverhead::silverthorne().area_fraction(),
-        ExtraBypassOverhead::silverthorne().dynamic_energy_factor(),
-        false,
-    )?;
-
-    let iraw_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Iraw);
-    push(
-        "IRAW avoidance (this paper)",
-        iraw_cfg,
-        IrawOverhead::silverthorne().area_fraction(),
-        IrawOverhead::silverthorne().dynamic_energy_factor(),
-        false,
-    )?;
-
-    Ok(rows)
+    let configs = technique_configs(core, timing, vcc);
+    let mut suites = Vec::with_capacity(configs.len());
+    for tc in &configs {
+        suites.push(run_suite_with(&tc.cfg, traces, par)?);
+    }
+    Ok(rows_from_results(&configs, &suites))
 }
 
 #[cfg(test)]

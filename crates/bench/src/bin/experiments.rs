@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! experiments [--suite quick|standard|paper|NxLEN] [--out DIR]
-//!             [--jobs N] [--json PATH]
+//!             [--jobs N] [--json PATH] [--cache DIR]
 //! ```
 //!
 //! Examples: `experiments`, `experiments --suite quick`,
-//! `experiments --suite 3x50000 --out results --jobs 8 --json sweep.json`.
+//! `experiments --suite 3x50000 --out results --jobs 8 --json sweep.json`,
+//! `experiments --suite quick --cache /var/lib/lowvcc/cache`.
 //!
 //! `--jobs` fans the per-voltage suite sweeps out over N worker threads
 //! (default: all hardware threads; results are identical for any value).
@@ -16,17 +17,23 @@
 //! `uops_per_second` throughput figure machine-readably. `--suite paper`
 //! is the paper-scale target (532 traces × 200k uops — the closest
 //! 7-family multiple of the paper's 531) the parallel runner makes
-//! tractable.
+//! tractable. `--cache DIR` routes every simulation through the
+//! content-addressed result store rooted at DIR: a warm re-run answers
+//! every figure from the store (the trailing `cache:` stats line reports
+//! `0 simulated`) yet writes byte-identical CSV artifacts. The same DIR
+//! can back a running `lowvcc-serve` daemon.
 
 use std::fmt;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use lowvcc_bench::experiments::run_all;
-use lowvcc_bench::{ExperimentContext, ExperimentError};
+use lowvcc_bench::{ExperimentContext, ExperimentError, ResultStore, SuiteChoice};
 use lowvcc_core::Parallelism;
 
 /// Binary-local error: either a usage problem or a harness failure.
+#[derive(Debug)]
 enum CliError {
     Usage(String),
     Run(ExperimentError),
@@ -48,25 +55,38 @@ impl From<ExperimentError> for CliError {
 }
 
 const USAGE: &str = "usage: experiments [--suite quick|standard|paper|NxLEN] [--out DIR] \
-                     [--jobs N] [--json PATH]";
+                     [--jobs N] [--json PATH] [--cache DIR]";
 
 fn usage<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError::Usage(msg.into()))
 }
 
-struct Cli {
-    ctx: ExperimentContext,
+/// Validated command line, before any trace generation or I/O happens.
+/// Pure function of the argument list — see [`parse_args`] — so the
+/// degenerate-input rejections are unit-testable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CliOptions {
+    suite: SuiteChoice,
     out: PathBuf,
     json: Option<PathBuf>,
+    cache: Option<PathBuf>,
     jobs: usize,
+    help: bool,
 }
 
-fn parse_args() -> Result<Cli, CliError> {
+/// Parses and validates the argument list (everything after argv[0]).
+///
+/// Degenerate inputs are rejected *here*, before any work starts:
+/// `--suite 0x200000` (zero traces per family), `--suite 3x0` (empty
+/// traces) and `--jobs 0` (a zero-worker runner) are usage errors, not
+/// empty sweeps.
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliOptions, CliError> {
     let mut suite = "standard".to_string();
     let mut out = PathBuf::from("results");
     let mut json = None;
+    let mut cache = None;
     let mut jobs = Parallelism::available().count();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--suite" => match args.next() {
@@ -81,51 +101,89 @@ fn parse_args() -> Result<Cli, CliError> {
                 Some(v) => json = Some(PathBuf::from(v)),
                 None => return usage("--json needs a value"),
             },
+            "--cache" => match args.next() {
+                Some(v) => cache = Some(PathBuf::from(v)),
+                None => return usage("--cache needs a value"),
+            },
             "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => jobs = n,
                 Some(_) => return usage("--jobs needs a positive integer"),
                 None => return usage("--jobs needs a value"),
             },
             "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
+                return Ok(CliOptions {
+                    suite: SuiteChoice::Standard,
+                    out,
+                    json,
+                    cache,
+                    jobs,
+                    help: true,
+                })
             }
             other => return usage(format!("unknown argument {other}\n{USAGE}")),
         }
     }
-    let ctx = match suite.as_str() {
-        "quick" => ExperimentContext::quick()?,
-        "standard" => ExperimentContext::standard()?,
-        "paper" => ExperimentContext::paper()?,
-        custom => {
-            let Some((n, len)) = custom.split_once('x') else {
-                return usage(format!("bad suite spec {custom}; want e.g. 3x50000"));
-            };
-            let Ok(n) = n.parse::<u32>() else {
-                return usage("bad per-family count");
-            };
-            let Ok(len) = len.parse::<usize>() else {
-                return usage("bad trace length");
-            };
-            // A suite with no traces (or empty traces) has no defined
-            // speedups/EDP — reject it here rather than panic mid-sweep.
-            if n == 0 || len == 0 {
-                return usage("suite spec needs at least 1 trace per family and 1 uop per trace");
-            }
-            ExperimentContext::sized(n, len)?
-        }
+    // The shared grammar (lowvcc_bench::SuiteChoice) rejects degenerate
+    // sizes — no traces, empty traces — before any work starts.
+    let suite = match SuiteChoice::parse(&suite) {
+        Ok(s) => s,
+        Err(msg) => return usage(msg),
     };
-    let ctx = ctx.with_parallelism(Parallelism::threads(jobs));
-    Ok(Cli {
-        ctx,
+    Ok(CliOptions {
+        suite,
         out,
         json,
+        cache,
         jobs,
+        help: false,
+    })
+}
+
+struct Cli {
+    ctx: ExperimentContext,
+    out: PathBuf,
+    json: Option<PathBuf>,
+    jobs: usize,
+    store: Option<Arc<ResultStore>>,
+}
+
+/// Turns validated options into a runnable context (builds traces, opens
+/// the cache).
+fn build(opts: CliOptions) -> Result<Cli, CliError> {
+    let mut ctx = opts
+        .suite
+        .build()?
+        .with_parallelism(Parallelism::threads(opts.jobs));
+    let store = match opts.cache {
+        Some(dir) => {
+            let store = Arc::new(ResultStore::open(dir).map_err(ExperimentError::from)?);
+            ctx = ctx.with_cache(Arc::clone(&store));
+            Some(store)
+        }
+        None => None,
+    };
+    Ok(Cli {
+        ctx,
+        out: opts.out,
+        json: opts.json,
+        jobs: opts.jobs,
+        store,
     })
 }
 
 fn main() -> ExitCode {
-    let cli = match parse_args() {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let cli = match build(opts) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
@@ -148,6 +206,17 @@ fn main() -> ExitCode {
                 summary.uops_per_second() / 1e6
             );
             eprintln!("CSV files written under {}", cli.out.display());
+            if let Some(store) = &cli.store {
+                let s = store.stats();
+                let disk = match store.disk_entries() {
+                    Ok(n) => n.to_string(),
+                    Err(_) => "?".to_string(),
+                };
+                eprintln!(
+                    "cache: {} hits, {} misses ({} simulated), {} entries on disk",
+                    s.hits, s.misses, s.misses, disk
+                );
+            }
             if let Some(path) = cli.json {
                 let doc = summary.to_json(&cli.ctx.suite_label, cli.ctx.total_uops(), cli.jobs);
                 if let Err(e) = std::fs::write(&path, doc) {
@@ -162,5 +231,96 @@ fn main() -> ExitCode {
             eprintln!("{}", CliError::Run(e));
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, CliError> {
+        parse_args(args.iter().map(|s| (*s).to_string()))
+    }
+
+    fn usage_of(args: &[&str]) -> String {
+        match parse(args) {
+            Err(CliError::Usage(msg)) => msg,
+            Ok(o) => panic!("{args:?} accepted: {o:?}"),
+            Err(CliError::Run(e)) => panic!("{args:?} ran: {e}"),
+        }
+    }
+
+    #[test]
+    fn defaults_are_standard_suite_all_threads() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.suite, SuiteChoice::Standard);
+        assert_eq!(o.out, PathBuf::from("results"));
+        assert_eq!(o.json, None);
+        assert_eq!(o.cache, None);
+        assert!(o.jobs >= 1);
+        assert!(!o.help);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let o = parse(&[
+            "--suite", "3x50000", "--out", "r", "--jobs", "8", "--json", "s.json", "--cache", "c",
+        ])
+        .unwrap();
+        assert_eq!(
+            o.suite,
+            SuiteChoice::Sized {
+                per_family: 3,
+                len: 50_000
+            }
+        );
+        assert_eq!(o.jobs, 8);
+        assert_eq!(o.cache, Some(PathBuf::from("c")));
+        assert_eq!(o.json, Some(PathBuf::from("s.json")));
+    }
+
+    #[test]
+    fn zero_traces_per_family_is_a_usage_error() {
+        // "0x200000" is a suite spec (0 per family), not a hex literal —
+        // and an empty suite has no defined speedups.
+        let msg = usage_of(&["--suite", "0x200000"]);
+        assert!(msg.contains("at least 1 trace"), "{msg}");
+    }
+
+    #[test]
+    fn zero_length_traces_are_a_usage_error() {
+        let msg = usage_of(&["--suite", "3x0"]);
+        assert!(msg.contains("1 uop per trace"), "{msg}");
+    }
+
+    #[test]
+    fn zero_jobs_is_a_usage_error() {
+        let msg = usage_of(&["--jobs", "0"]);
+        assert!(msg.contains("positive integer"), "{msg}");
+        // Same for garbage and negative values.
+        assert!(usage_of(&["--jobs", "-3"]).contains("positive integer"));
+        assert!(usage_of(&["--jobs", "many"]).contains("positive integer"));
+    }
+
+    #[test]
+    fn malformed_suite_specs_are_usage_errors() {
+        assert!(usage_of(&["--suite", "banana"]).contains("bad suite spec"));
+        assert!(usage_of(&["--suite", "x"]).contains("per-family count"));
+        assert!(usage_of(&["--suite", "3x"]).contains("trace length"));
+        assert!(usage_of(&["--suite", "99999999999999999999x5"]).contains("per-family count"));
+    }
+
+    #[test]
+    fn dangling_values_and_unknown_flags_rejected() {
+        assert!(usage_of(&["--suite"]).contains("--suite needs a value"));
+        assert!(usage_of(&["--cache"]).contains("--cache needs a value"));
+        assert!(usage_of(&["--jobs"]).contains("--jobs needs a value"));
+        assert!(usage_of(&["--frobnicate"]).contains("unknown argument"));
+    }
+
+    #[test]
+    fn help_short_circuits_validation() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
     }
 }

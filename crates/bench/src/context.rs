@@ -1,15 +1,91 @@
-//! Shared experiment context: models, machine configuration and the trace
-//! suite.
+//! Shared experiment context: models, machine configuration, the trace
+//! suite, and the optional result cache every experiment runs through.
 
-use lowvcc_core::{CoreConfig, Parallelism};
+use std::sync::Arc;
+
+use lowvcc_core::{
+    run_suite_with, sim_key, speedup, CoreConfig, Mechanism, MechanismComparison, Parallelism,
+    SimConfig, SuiteResult,
+};
 
 use crate::error::ExperimentError;
+use crate::store::ResultStore;
 use lowvcc_energy::EnergyModel;
-use lowvcc_sram::CycleTimeModel;
+use lowvcc_sram::{CycleTimeModel, Millivolts};
 use lowvcc_trace::{suite, Trace, TraceSpec};
 
-/// Everything an experiment needs: the calibrated models, the machine, and
-/// a built trace suite.
+/// A parsed suite choice — the one grammar behind the `--suite` flag of
+/// both the `experiments` binary and `lowvcc-serve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteChoice {
+    /// 7 traces × 10k uops.
+    Quick,
+    /// 49 traces × 200k uops.
+    Standard,
+    /// 532 traces × 200k uops.
+    Paper,
+    /// `NxLEN`: N traces per family, LEN uops each.
+    Sized {
+        /// Traces per workload family.
+        per_family: u32,
+        /// Dynamic uops per trace.
+        len: usize,
+    },
+}
+
+impl SuiteChoice {
+    /// Parses a `--suite` argument (`quick`, `standard`, `paper`, or
+    /// `NxLEN`), rejecting degenerate sizes before any work starts:
+    /// zero traces per family or zero-length traces have no defined
+    /// speedups/EDP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message suitable for printing verbatim.
+    pub fn parse(arg: &str) -> Result<Self, String> {
+        match arg {
+            "quick" => Ok(Self::Quick),
+            "standard" => Ok(Self::Standard),
+            "paper" => Ok(Self::Paper),
+            custom => {
+                let Some((n, len)) = custom.split_once('x') else {
+                    return Err(format!("bad suite spec {custom}; want e.g. 3x50000"));
+                };
+                let Ok(n) = n.parse::<u32>() else {
+                    return Err("bad per-family count".to_string());
+                };
+                let Ok(len) = len.parse::<usize>() else {
+                    return Err("bad trace length".to_string());
+                };
+                if n == 0 || len == 0 {
+                    return Err(
+                        "suite spec needs at least 1 trace per family and 1 uop per trace"
+                            .to_string(),
+                    );
+                }
+                Ok(Self::Sized { per_family: n, len })
+            }
+        }
+    }
+
+    /// Builds the corresponding context (generates the traces).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation failures.
+    pub fn build(self) -> Result<ExperimentContext, ExperimentError> {
+        match self {
+            Self::Quick => ExperimentContext::quick(),
+            Self::Standard => ExperimentContext::standard(),
+            Self::Paper => ExperimentContext::paper(),
+            Self::Sized { per_family, len } => ExperimentContext::sized(per_family, len),
+        }
+    }
+}
+
+/// Everything an experiment needs: the calibrated models, the machine,
+/// a built trace suite (plus the specs that generated it, which key the
+/// result cache), and the optional cache itself.
 #[derive(Debug, Clone)]
 pub struct ExperimentContext {
     /// Calibrated timing model.
@@ -20,11 +96,19 @@ pub struct ExperimentContext {
     pub core: CoreConfig,
     /// The workload suite.
     pub suite: Vec<Trace>,
+    /// The specs the suite was built from, index-aligned with `suite`.
+    /// Content addressing hashes these (family, seed, length) rather
+    /// than megabytes of generated uops.
+    pub specs: Vec<TraceSpec>,
     /// Human-readable suite label for reports.
     pub suite_label: String,
     /// Worker threads for suite sweeps (sequential by default; every
     /// experiment's output is identical for any value).
     pub parallelism: Parallelism,
+    /// Content-addressed result cache. When set, every suite run first
+    /// consults it and only simulates the misses; results are byte-
+    /// identical with or without it.
+    pub cache: Option<Arc<ResultStore>>,
 }
 
 impl ExperimentContext {
@@ -43,8 +127,10 @@ impl ExperimentContext {
             energy: EnergyModel::silverthorne_45nm(),
             core: CoreConfig::silverthorne(),
             suite: traces,
+            specs: specs.to_vec(),
             suite_label: label.to_string(),
             parallelism: Parallelism::sequential(),
+            cache: None,
         })
     }
 
@@ -53,6 +139,14 @@ impl ExperimentContext {
     #[must_use]
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.parallelism = par;
+        self
+    }
+
+    /// Returns the context with every suite run going through `store`.
+    /// Results are unchanged — only which of them are simulated.
+    #[must_use]
+    pub fn with_cache(mut self, store: Arc<ResultStore>) -> Self {
+        self.cache = Some(store);
         self
     }
 
@@ -104,18 +198,105 @@ impl ExperimentContext {
     pub fn total_uops(&self) -> usize {
         self.suite.iter().map(Trace::len).sum()
     }
+
+    /// Runs `cfg` over the whole suite, answering from the cache where
+    /// possible and simulating only the misses (which are then stored).
+    /// Output is bit-identical to an uncached [`run_suite_with`] for the
+    /// same inputs — the determinism guarantee of DESIGN.md §6 is what
+    /// makes keyed reuse sound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures and typed cache failures (corrupt
+    /// entries are surfaced, never silently re-simulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a cache is configured and `specs` has drifted out of
+    /// alignment with `suite` (both are public fields; keep them
+    /// index-aligned).
+    pub fn run_suite(&self, cfg: &SimConfig) -> Result<SuiteResult, ExperimentError> {
+        let Some(store) = &self.cache else {
+            return Ok(run_suite_with(cfg, &self.suite, self.parallelism)?);
+        };
+        // Hard assert, not debug: both fields are public, and a silent
+        // zip truncation here would make the cached path drop the tail
+        // of a misaligned suite — cache on/off changing results.
+        assert_eq!(
+            self.specs.len(),
+            self.suite.len(),
+            "ExperimentContext.specs must stay index-aligned with .suite"
+        );
+        let mut slots: Vec<Option<(String, lowvcc_core::SimResult)>> =
+            Vec::with_capacity(self.suite.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, (spec, trace)) in self.specs.iter().zip(&self.suite).enumerate() {
+            match store.get(sim_key(cfg, spec))? {
+                Some(result) => slots.push(Some((trace.name.clone(), result))),
+                None => {
+                    slots.push(None);
+                    missing.push(i);
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let refs: Vec<&Trace> = missing.iter().map(|&i| &self.suite[i]).collect();
+            store.note_simulated_uops(refs.iter().map(|t| t.len() as u64).sum());
+            let fresh = run_suite_with(cfg, &refs, self.parallelism)?;
+            for (&i, (name, result)) in missing.iter().zip(fresh.per_trace) {
+                store.put(sim_key(cfg, &self.specs[i]), &result)?;
+                slots[i] = Some((name, result));
+            }
+        }
+        Ok(SuiteResult {
+            per_trace: slots
+                .into_iter()
+                .map(|s| s.expect("every slot filled"))
+                .collect(),
+        })
+    }
+
+    /// Baseline-vs-IRAW comparison at `vcc` over the suite, through the
+    /// cache. The cache-free equivalent of
+    /// [`lowvcc_core::compare_mechanisms_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and cache failures.
+    pub fn compare_mechanisms(
+        &self,
+        vcc: Millivolts,
+    ) -> Result<MechanismComparison, ExperimentError> {
+        let base_cfg = SimConfig::at_vcc(self.core, &self.timing, vcc, Mechanism::Baseline);
+        let iraw_cfg = SimConfig::at_vcc(self.core, &self.timing, vcc, Mechanism::Iraw);
+        let baseline = self.run_suite(&base_cfg)?;
+        let iraw = self.run_suite(&iraw_cfg)?;
+        let speedup = speedup(&iraw, &baseline);
+        Ok(MechanismComparison {
+            vcc,
+            baseline,
+            iraw,
+            frequency_gain: self.timing.frequency_gain(vcc),
+            speedup,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lowvcc_sram::voltage::mv;
 
     #[test]
     fn quick_context_builds() {
         let ctx = ExperimentContext::quick().unwrap();
         assert_eq!(ctx.suite.len(), 7);
+        assert_eq!(ctx.specs.len(), 7);
         assert_eq!(ctx.total_uops(), 70_000);
         assert!(ctx.suite_label.contains("quick"));
+        for (spec, trace) in ctx.specs.iter().zip(&ctx.suite) {
+            assert_eq!(spec.name(), trace.name, "specs track traces");
+        }
     }
 
     #[test]
@@ -123,5 +304,38 @@ mod tests {
         let ctx = ExperimentContext::sized(2, 5_000).unwrap();
         assert_eq!(ctx.suite.len(), 14);
         assert_eq!(ctx.total_uops(), 70_000);
+    }
+
+    #[test]
+    fn cached_suite_runs_match_uncached_bit_for_bit() {
+        let ctx = ExperimentContext::sized(1, 3_000).unwrap();
+        let cfg = SimConfig::at_vcc(ctx.core, &ctx.timing, mv(500), Mechanism::Iraw);
+        let uncached = ctx.run_suite(&cfg).unwrap();
+
+        let store = Arc::new(ResultStore::ephemeral());
+        let ctx = ctx.with_cache(Arc::clone(&store));
+        let cold = ctx.run_suite(&cfg).unwrap();
+        assert_eq!(store.stats().misses, 7, "cold run simulates everything");
+        let warm = ctx.run_suite(&cfg).unwrap();
+        assert_eq!(store.stats().misses, 7, "warm run simulates nothing");
+        assert_eq!(store.stats().hits, 7);
+        assert_eq!(uncached, cold);
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn cached_comparison_matches_uncached() {
+        let ctx = ExperimentContext::sized(1, 3_000).unwrap();
+        let direct = lowvcc_core::compare_mechanisms_with(
+            ctx.core,
+            &ctx.timing,
+            mv(500),
+            &ctx.suite,
+            ctx.parallelism,
+        )
+        .unwrap();
+        let cached_ctx = ctx.with_cache(Arc::new(ResultStore::ephemeral()));
+        let through_cache = cached_ctx.compare_mechanisms(mv(500)).unwrap();
+        assert_eq!(direct, through_cache);
     }
 }

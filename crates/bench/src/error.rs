@@ -14,6 +14,8 @@ use std::path::{Path, PathBuf};
 use lowvcc_core::SimError;
 use lowvcc_trace::TraceError;
 
+use crate::store::StoreError;
+
 /// Error running an experiment to completion.
 #[derive(Debug)]
 pub enum ExperimentError {
@@ -33,6 +35,8 @@ pub enum ExperimentError {
         /// The absent voltage in millivolts.
         mv: u32,
     },
+    /// The result cache failed (I/O or a corrupt record).
+    Store(StoreError),
 }
 
 impl ExperimentError {
@@ -57,6 +61,7 @@ impl fmt::Display for ExperimentError {
             Self::MissingSweepPoint { mv } => {
                 write!(f, "sweep missing the {mv} mV anchor point")
             }
+            Self::Store(e) => write!(f, "result cache failed: {e}"),
         }
     }
 }
@@ -68,6 +73,7 @@ impl std::error::Error for ExperimentError {
             Self::Sim(e) => Some(e),
             Self::Io { source, .. } => Some(source),
             Self::MissingSweepPoint { .. } => None,
+            Self::Store(e) => Some(e),
         }
     }
 }
@@ -81,6 +87,12 @@ impl From<TraceError> for ExperimentError {
 impl From<SimError> for ExperimentError {
     fn from(e: SimError) -> Self {
         Self::Sim(e)
+    }
+}
+
+impl From<StoreError> for ExperimentError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
     }
 }
 

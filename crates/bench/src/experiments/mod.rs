@@ -17,7 +17,7 @@ use crate::error::ExperimentError;
 use crate::report::TextTable;
 
 /// Re-exported for Figure 11b / Figure 12 consumers.
-pub use sweep::{run_sweep, SweepPoint};
+pub use sweep::{point, point_json, run_sweep, SweepPoint};
 
 fn save(table: &TextTable, path: &Path) -> Result<(), ExperimentError> {
     table.write_csv(path).map_err(ExperimentError::io_at(path))
@@ -33,50 +33,37 @@ pub struct RunSummary {
     pub sweep: Vec<SweepPoint>,
     /// Wall-clock time of the sweep alone.
     pub sweep_elapsed: Duration,
-    /// Dynamic uops simulated by the sweep (all voltages × both
-    /// mechanisms), the numerator of the throughput figure.
+    /// Dynamic uops the *engine actually simulated* during the sweep
+    /// (all voltages × both mechanisms), the numerator of the
+    /// throughput figure. Cache hits contribute nothing: a fully warm
+    /// cached sweep reports 0, not a fictitious engine throughput.
     pub sweep_uops: u64,
 }
 
 impl RunSummary {
     /// Simulated uops per wall-clock second over the sweep — the repo's
-    /// perf-trajectory number (BENCH_*.json).
+    /// perf-trajectory number (BENCH_*.json). Zero-duration sweeps (an
+    /// empty suite, a fully-cached warm run on a coarse clock) yield
+    /// `0.0`, never `inf`/`NaN` — the JSON writer would otherwise have
+    /// nothing valid to emit.
     #[must_use]
     pub fn uops_per_second(&self) -> f64 {
         let secs = self.sweep_elapsed.as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
+        if secs > 0.0 && secs.is_finite() {
             self.sweep_uops as f64 / secs
+        } else {
+            0.0
         }
     }
 
     /// Machine-readable sweep results: suite metadata, throughput, and
-    /// one record per voltage point.
+    /// one record per voltage point. Always a single line of valid JSON:
+    /// every float goes through [`json::number`], which renders
+    /// non-finite values as `null` instead of emitting them verbatim.
     #[must_use]
     pub fn to_json(&self, suite_label: &str, suite_uops: usize, jobs: usize) -> String {
-        use crate::report::json;
-        let points: Vec<String> = self
-            .sweep
-            .iter()
-            .map(|p| {
-                json::object(&[
-                    ("vcc_mv", p.vcc.millivolts().to_string()),
-                    ("frequency_gain", json::number(p.frequency_gain)),
-                    ("speedup", json::number(p.speedup)),
-                    ("delayed_fraction", json::number(p.delayed_fraction)),
-                    ("relative_delay", json::number(p.relative_delay)),
-                    ("relative_energy", json::number(p.relative_energy)),
-                    ("relative_edp", json::number(p.relative_edp)),
-                    (
-                        "baseline_leakage_fraction",
-                        json::number(p.baseline_leakage_fraction),
-                    ),
-                    ("bp_corruption_rate", json::number(p.bp_corruption_rate)),
-                    ("rsb_corruptions", p.rsb_corruptions.to_string()),
-                ])
-            })
-            .collect();
+        use crate::json;
+        let points: Vec<String> = self.sweep.iter().map(sweep::point_json).collect();
         let mut out = json::object(&[
             ("suite", json::string(suite_label)),
             ("suite_uops", suite_uops.to_string()),
@@ -122,13 +109,20 @@ pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<RunSummary, Ex
     report.push_str(&t.render());
     report.push('\n');
 
+    let cached_uops_before = ctx.cache.as_ref().map(|s| s.stats().simulated_uops);
     let sweep_started = Instant::now();
     let points = sweep::run_sweep(ctx)?;
     let sweep_elapsed = sweep_started.elapsed();
-    let sweep_uops: u64 = points
-        .iter()
-        .map(|p| p.baseline_instructions + p.iraw_instructions)
-        .sum();
+    // Throughput numerator: engine work only. With a cache, the store
+    // counted exactly what was simulated; without one, every committed
+    // instruction came from the engine.
+    let sweep_uops: u64 = match (&ctx.cache, cached_uops_before) {
+        (Some(store), Some(before)) => store.stats().simulated_uops - before,
+        _ => points
+            .iter()
+            .map(|p| p.baseline_instructions + p.iraw_instructions)
+            .sum(),
+    };
 
     report.push_str("## Figure 11b — frequency increase and performance gains\n");
     let t = sweep::fig11b_table(&points);
@@ -172,4 +166,35 @@ pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<RunSummary, Ex
         sweep_elapsed,
         sweep_uops,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn zero_duration_summary() -> RunSummary {
+        RunSummary {
+            report: String::new(),
+            sweep: Vec::new(),
+            sweep_elapsed: Duration::ZERO,
+            sweep_uops: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn zero_duration_throughput_is_zero_not_nan() {
+        let s = zero_duration_summary();
+        assert_eq!(s.uops_per_second(), 0.0);
+        assert!(s.uops_per_second().is_finite());
+    }
+
+    #[test]
+    fn zero_duration_json_is_still_valid() {
+        let s = zero_duration_summary();
+        let doc = s.to_json("smoke (0×0)", 0, 1);
+        let v = json::parse(&doc).expect("valid JSON even with degenerate timing");
+        assert_eq!(v.get("uops_per_second").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("points").unwrap().as_array().unwrap().len(), 0);
+    }
 }

@@ -10,7 +10,7 @@
 //! total degradation due to IRAW stalls, which the per-block stall-cycle
 //! counters then apportion.
 
-use lowvcc_core::{run_suite_with, Mechanism, SimConfig};
+use lowvcc_core::{Mechanism, SimConfig};
 use lowvcc_sram::Millivolts;
 
 use crate::context::ExperimentContext;
@@ -57,11 +57,13 @@ pub fn measure_at(
 ) -> Result<StallReport, ExperimentError> {
     let iraw_cfg = SimConfig::at_vcc(ctx.core, &ctx.timing, vcc, Mechanism::Iraw);
     // Stall-free reference: identical clock, all IRAW mechanisms off.
+    // Keys differently from the IRAW run — `stabilization_cycles` is
+    // part of the canonical SimKey encoding — so the cache serves both.
     let mut free_cfg = iraw_cfg.clone();
     free_cfg.stabilization_cycles = 0;
 
-    let iraw = run_suite_with(&iraw_cfg, &ctx.suite, ctx.parallelism)?;
-    let free = run_suite_with(&free_cfg, &ctx.suite, ctx.parallelism)?;
+    let iraw = ctx.run_suite(&iraw_cfg)?;
+    let free = ctx.run_suite(&free_cfg)?;
     let total_degradation = iraw.total_seconds() / free.total_seconds() - 1.0;
 
     let mut rf = 0u64;

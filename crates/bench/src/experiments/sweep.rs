@@ -1,12 +1,15 @@
 //! The Vcc sweep behind Figures 11b and 12: baseline vs IRAW simulation at
-//! every voltage, with the energy model applied on top.
+//! every voltage, with the energy model applied on top. Every measurement
+//! goes through [`ExperimentContext::run_suite`]'s result cache when one
+//! is configured, so a warm sweep performs zero simulations.
 
-use lowvcc_core::{compare_mechanisms_with, SuiteResult};
+use lowvcc_core::SuiteResult;
 use lowvcc_energy::{EdpPoint, IrawOverhead};
 use lowvcc_sram::{Millivolts, PAPER_SWEEP};
 
 use crate::context::ExperimentContext;
 use crate::error::ExperimentError;
+use crate::json;
 use crate::report::{fnum, TextTable};
 
 /// Measured baseline-vs-IRAW numbers at one supply voltage.
@@ -56,62 +59,90 @@ fn suite_energy(
         .fold(lowvcc_energy::EnergyBreakdown::default(), |a, b| a + b)
 }
 
+/// Measures the baseline-vs-IRAW point at one supply voltage (through
+/// the context's result cache when configured). The unit of work
+/// `lowvcc-serve` answers per query.
+///
+/// # Errors
+///
+/// Propagates simulation and cache failures.
+pub fn point(ctx: &ExperimentContext, vcc: Millivolts) -> Result<SweepPoint, ExperimentError> {
+    let iraw_overhead = IrawOverhead::silverthorne().dynamic_energy_factor();
+    let cmp = ctx.compare_mechanisms(vcc)?;
+    let base_energy = suite_energy(ctx, vcc, &cmp.baseline, 1.0);
+    // The IRAW hardware is present (and clocking) at every Vcc, so its
+    // ~0.6% dynamic overhead applies even where the mechanism is off —
+    // the paper's "slightly worse at high Vcc" effect.
+    let iraw_energy = suite_energy(ctx, vcc, &cmp.iraw, iraw_overhead);
+    let base_point = EdpPoint::new(cmp.baseline.total_seconds(), base_energy);
+    let iraw_point = EdpPoint::new(cmp.iraw.total_seconds(), iraw_energy);
+    let rel = iraw_point.relative_to(&base_point);
+
+    let n = cmp.iraw.per_trace.len() as f64;
+    let mut stall = (0.0, 0.0, 0.0, 0.0);
+    let mut bp_reads = 0u64;
+    let mut bp_corrupt = 0u64;
+    let mut rsb_corrupt = 0u64;
+    for (_, r) in &cmp.iraw.per_trace {
+        let f = r.stats.stall_fractions();
+        stall.0 += f.0 / n;
+        stall.1 += f.1 / n;
+        stall.2 += f.2 / n;
+        stall.3 += f.3 / n;
+        bp_reads += r.stats.branches.branches;
+        bp_corrupt += r.stats.branches.bp_potential_corruptions;
+        rsb_corrupt += r.stats.branches.rsb_potential_corruptions;
+    }
+
+    Ok(SweepPoint {
+        vcc,
+        frequency_gain: cmp.frequency_gain,
+        speedup: cmp.speedup.total_time,
+        delayed_fraction: cmp.iraw.delayed_instruction_fraction(),
+        relative_delay: rel.delay,
+        relative_energy: rel.energy,
+        relative_edp: rel.edp,
+        baseline_leakage_fraction: base_energy.leakage_fraction(),
+        stall_fractions: stall,
+        bp_corruption_rate: if bp_reads == 0 {
+            0.0
+        } else {
+            bp_corrupt as f64 / bp_reads as f64
+        },
+        rsb_corruptions: rsb_corrupt,
+        baseline_instructions: cmp.baseline.total_instructions(),
+        iraw_instructions: cmp.iraw.total_instructions(),
+    })
+}
+
 /// Runs the full baseline-vs-IRAW sweep over the paper's voltage grid.
 ///
 /// # Errors
 ///
-/// Propagates simulation failures.
+/// Propagates simulation and cache failures.
 pub fn run_sweep(ctx: &ExperimentContext) -> Result<Vec<SweepPoint>, ExperimentError> {
-    let iraw_overhead = IrawOverhead::silverthorne().dynamic_energy_factor();
-    let mut points = Vec::new();
-    for vcc in PAPER_SWEEP.iter() {
-        let cmp = compare_mechanisms_with(ctx.core, &ctx.timing, vcc, &ctx.suite, ctx.parallelism)?;
-        let base_energy = suite_energy(ctx, vcc, &cmp.baseline, 1.0);
-        // The IRAW hardware is present (and clocking) at every Vcc, so its
-        // ~0.6% dynamic overhead applies even where the mechanism is off —
-        // the paper's "slightly worse at high Vcc" effect.
-        let iraw_energy = suite_energy(ctx, vcc, &cmp.iraw, iraw_overhead);
-        let base_point = EdpPoint::new(cmp.baseline.total_seconds(), base_energy);
-        let iraw_point = EdpPoint::new(cmp.iraw.total_seconds(), iraw_energy);
-        let rel = iraw_point.relative_to(&base_point);
+    PAPER_SWEEP.iter().map(|vcc| point(ctx, vcc)).collect()
+}
 
-        let n = cmp.iraw.per_trace.len() as f64;
-        let mut stall = (0.0, 0.0, 0.0, 0.0);
-        let mut bp_reads = 0u64;
-        let mut bp_corrupt = 0u64;
-        let mut rsb_corrupt = 0u64;
-        for (_, r) in &cmp.iraw.per_trace {
-            let f = r.stats.stall_fractions();
-            stall.0 += f.0 / n;
-            stall.1 += f.1 / n;
-            stall.2 += f.2 / n;
-            stall.3 += f.3 / n;
-            bp_reads += r.stats.branches.branches;
-            bp_corrupt += r.stats.branches.bp_potential_corruptions;
-            rsb_corrupt += r.stats.branches.rsb_potential_corruptions;
-        }
-
-        points.push(SweepPoint {
-            vcc,
-            frequency_gain: cmp.frequency_gain,
-            speedup: cmp.speedup.total_time,
-            delayed_fraction: cmp.iraw.delayed_instruction_fraction(),
-            relative_delay: rel.delay,
-            relative_energy: rel.energy,
-            relative_edp: rel.edp,
-            baseline_leakage_fraction: base_energy.leakage_fraction(),
-            stall_fractions: stall,
-            bp_corruption_rate: if bp_reads == 0 {
-                0.0
-            } else {
-                bp_corrupt as f64 / bp_reads as f64
-            },
-            rsb_corruptions: rsb_corrupt,
-            baseline_instructions: cmp.baseline.total_instructions(),
-            iraw_instructions: cmp.iraw.total_instructions(),
-        });
-    }
-    Ok(points)
+/// Renders one sweep point as a JSON object — shared by the `--json`
+/// document and the `lowvcc-serve` response body.
+#[must_use]
+pub fn point_json(p: &SweepPoint) -> String {
+    json::object(&[
+        ("vcc_mv", p.vcc.millivolts().to_string()),
+        ("frequency_gain", json::number(p.frequency_gain)),
+        ("speedup", json::number(p.speedup)),
+        ("delayed_fraction", json::number(p.delayed_fraction)),
+        ("relative_delay", json::number(p.relative_delay)),
+        ("relative_energy", json::number(p.relative_energy)),
+        ("relative_edp", json::number(p.relative_edp)),
+        (
+            "baseline_leakage_fraction",
+            json::number(p.baseline_leakage_fraction),
+        ),
+        ("bp_corruption_rate", json::number(p.bp_corruption_rate)),
+        ("rsb_corruptions", p.rsb_corruptions.to_string()),
+    ])
 }
 
 /// Formats the Figure 11b table (frequency increase & performance gains).

@@ -1,6 +1,6 @@
 //! T1 — the paper's Table 1 and its measured companion.
 
-use lowvcc_baselines::{qualitative_table, quantitative_table_with};
+use lowvcc_baselines::{qualitative_table, rows_from_results, technique_configs, QuantRow};
 use lowvcc_sram::Millivolts;
 
 use crate::context::ExperimentContext;
@@ -35,6 +35,26 @@ pub fn qualitative() -> TextTable {
     t
 }
 
+/// Measured rows at `vcc` over the context suite, through the result
+/// cache when one is configured — each technique's `SimConfig` keys its
+/// suite run, so a warm Table 1 performs zero simulations (and shares
+/// the baseline run with the sweep at the same voltage).
+///
+/// # Errors
+///
+/// Propagates simulation and cache failures.
+pub fn quantitative_rows_at(
+    ctx: &ExperimentContext,
+    vcc: Millivolts,
+) -> Result<Vec<QuantRow>, ExperimentError> {
+    let configs = technique_configs(ctx.core, &ctx.timing, vcc);
+    let mut suites = Vec::with_capacity(configs.len());
+    for tc in &configs {
+        suites.push(ctx.run_suite(&tc.cfg)?);
+    }
+    Ok(rows_from_results(&configs, &suites))
+}
+
 /// Measured comparison at 500 mV over the context suite.
 ///
 /// # Errors
@@ -42,7 +62,7 @@ pub fn qualitative() -> TextTable {
 /// Propagates simulation failures.
 pub fn quantitative(ctx: &ExperimentContext) -> Result<TextTable, ExperimentError> {
     let vcc = Millivolts::new(500).expect("500 mV on the grid");
-    let rows = quantitative_table_with(ctx.core, &ctx.timing, vcc, &ctx.suite, ctx.parallelism)?;
+    let rows = quantitative_rows_at(ctx, vcc)?;
     let mut t = TextTable::new(vec![
         "technique",
         "freq_gain",

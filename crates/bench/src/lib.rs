@@ -27,8 +27,11 @@
 pub mod context;
 pub mod error;
 pub mod experiments;
+pub mod json;
 pub mod report;
+pub mod store;
 
-pub use context::ExperimentContext;
+pub use context::{ExperimentContext, SuiteChoice};
 pub use error::ExperimentError;
 pub use report::TextTable;
+pub use store::{ResultStore, StoreError, StoreStats};

@@ -118,62 +118,6 @@ pub fn fnum(x: f64, digits: usize) -> String {
     format!("{x:.digits$}")
 }
 
-/// Minimal JSON emission for the machine-readable sweep results — the
-/// repo is offline (no serde), and the schema is small and flat enough
-/// that hand-rolled emission with proper string escaping is the simpler
-/// dependency-free choice.
-pub mod json {
-    use std::fmt::Write as _;
-
-    /// Escapes `s` as a JSON string literal (with quotes).
-    #[must_use]
-    pub fn string(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    let _ = write!(out, "\\u{:04x}", c as u32);
-                }
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-        out
-    }
-
-    /// Formats a float as a JSON value (`null` when not finite).
-    #[must_use]
-    pub fn number(x: f64) -> String {
-        if x.is_finite() {
-            format!("{x}")
-        } else {
-            "null".to_string()
-        }
-    }
-
-    /// Renders an object body from `(key, rendered-value)` pairs.
-    #[must_use]
-    pub fn object(fields: &[(&str, String)]) -> String {
-        let body: Vec<String> = fields
-            .iter()
-            .map(|(k, v)| format!("{}: {v}", string(k)))
-            .collect();
-        format!("{{{}}}", body.join(", "))
-    }
-
-    /// Renders an array from rendered elements.
-    #[must_use]
-    pub fn array(items: &[String]) -> String {
-        format!("[{}]", items.join(", "))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

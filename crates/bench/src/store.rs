@@ -1,0 +1,511 @@
+//! The persistent, content-addressed simulation-result store.
+//!
+//! A [`ResultStore`] maps [`SimKey`]s (128-bit content addresses over the
+//! canonical simulation inputs, see `lowvcc_core::canon`) to canonical
+//! [`SimResult`] records. Layers:
+//!
+//! * an **in-memory LRU** (lock-protected, lazily-compacted recency
+//!   queue) so hot keys — a daemon's popular operating points — never
+//!   touch the filesystem;
+//! * an optional **sharded on-disk map**: `root/<first-2-hex>/<32-hex>.sim`,
+//!   written via tempfile + atomic rename so concurrent writers and
+//!   crashes can never publish a torn record. Corrupt or foreign bytes
+//!   surface a typed [`StoreError::Corrupt`] (never garbage stats —
+//!   every record carries a checksum).
+//!
+//! Invalidation is by construction: the engine-semantics version is
+//! hashed into every key *and* embedded in every record, so results from
+//! an older engine simply miss (and fail closed if a record is somehow
+//! reached through a colliding path).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use lowvcc_core::{decode_sim_result, encode_sim_result, CanonError, SimKey, SimResult};
+
+/// Failure inside the result store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// Underlying error.
+        source: io::Error,
+    },
+    /// An on-disk record failed validation (bad magic, truncation,
+    /// checksum mismatch, foreign version…).
+    Corrupt {
+        /// Path of the offending record.
+        path: PathBuf,
+        /// The decoder's verdict.
+        source: CanonError,
+    },
+}
+
+impl StoreError {
+    fn io_at(path: &Path) -> impl FnOnce(io::Error) -> Self + '_ {
+        |source| Self::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, source } => {
+                write!(f, "result store I/O at {}: {source}", path.display())
+            }
+            Self::Corrupt { path, source } => {
+                write!(f, "corrupt store entry {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Corrupt { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Monotonic counters describing store traffic. `misses` is exactly the
+/// number of engine invocations a cache-aware experiment performed — the
+/// warm-run acceptance check asserts it is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that found nothing (each one becomes a simulation).
+    pub misses: u64,
+    /// Records inserted this session.
+    pub stores: u64,
+    /// Dynamic uops actually run through the engine on behalf of this
+    /// store (cache hits contribute nothing) — the honest numerator for
+    /// throughput figures on cached runs.
+    pub simulated_uops: u64,
+}
+
+/// In-memory LRU over decoded results: `HashMap` for lookup plus a
+/// lazily-compacted recency queue (stale queue entries — superseded by a
+/// later touch — are skipped at eviction time).
+struct Lru {
+    map: HashMap<SimKey, (SimResult, u64)>,
+    recency: VecDeque<(SimKey, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl Lru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            recency: VecDeque::new(),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    fn touch(&mut self, key: SimKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.1 = tick;
+            self.recency.push_back((key, tick));
+        }
+        // Hit-only workloads (a warmed daemon's steady state) never
+        // insert, so the queue bound must apply on touches too.
+        self.compact_if_bloated();
+    }
+
+    fn get(&mut self, key: SimKey) -> Option<SimResult> {
+        let found = self.map.get(&key).map(|(r, _)| r.clone());
+        if found.is_some() {
+            self.touch(key);
+        }
+        found
+    }
+
+    fn insert(&mut self, key: SimKey, value: SimResult) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(key, (value, tick));
+        self.recency.push_back((key, tick));
+        while self.map.len() > self.capacity {
+            match self.recency.pop_front() {
+                Some((k, t)) => {
+                    // Only evict if this queue entry is the key's most
+                    // recent touch; otherwise it is stale — skip it.
+                    if self.map.get(&k).is_some_and(|&(_, cur)| cur == t) {
+                        self.map.remove(&k);
+                    }
+                }
+                None => break,
+            }
+        }
+        self.compact_if_bloated();
+    }
+
+    /// Bounds queue growth independently of capacity: drop every stale
+    /// entry (superseded by a later touch of the same key) once the
+    /// queue exceeds 4× the live-entry budget.
+    fn compact_if_bloated(&mut self) {
+        if self.recency.len() > self.capacity.saturating_mul(4).max(64) {
+            let map = &self.map;
+            self.recency
+                .retain(|&(k, t)| map.get(&k).is_some_and(|&(_, cur)| cur == t));
+        }
+    }
+}
+
+/// The layered key→result store. Cheap to share behind an `Arc`; all
+/// methods take `&self`.
+pub struct ResultStore {
+    dir: Option<PathBuf>,
+    lru: Mutex<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    simulated_uops: AtomicU64,
+}
+
+impl fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Default in-memory entry budget. A full paper-artefact regeneration on
+/// the standard suite needs 13 voltages × 2 mechanisms × 49 traces plus
+/// the Table 1 / stall-study configurations ≈ 1.6k entries; 4096 keeps
+/// every figure warm with headroom while bounding a daemon's footprint.
+const DEFAULT_LRU_CAPACITY: usize = 4096;
+
+impl ResultStore {
+    /// Opens (creating if necessary) an on-disk store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the root cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(StoreError::io_at(&dir))?;
+        Ok(Self {
+            dir: Some(dir),
+            ..Self::ephemeral()
+        })
+    }
+
+    /// An in-memory-only store (no persistence): the LRU layer alone.
+    #[must_use]
+    pub fn ephemeral() -> Self {
+        Self {
+            dir: None,
+            lru: Mutex::new(Lru::new(DEFAULT_LRU_CAPACITY)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            simulated_uops: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the LRU capacity (entries, not bytes).
+    #[must_use]
+    pub fn with_lru_capacity(self, capacity: usize) -> Self {
+        Self {
+            lru: Mutex::new(Lru::new(capacity.max(1))),
+            ..self
+        }
+    }
+
+    /// The on-disk root, if this store persists.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Traffic counters so far.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            simulated_uops: self.simulated_uops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records that `uops` dynamic uops were simulated to fill misses
+    /// (called by the cache-aware suite runner).
+    pub fn note_simulated_uops(&self, uops: u64) {
+        self.simulated_uops.fetch_add(uops, Ordering::Relaxed);
+    }
+
+    fn entry_path(&self, key: SimKey) -> Option<PathBuf> {
+        let hex = key.to_hex();
+        self.dir
+            .as_ref()
+            .map(|d| d.join(&hex[..2]).join(format!("{hex}.sim")))
+    }
+
+    /// Looks `key` up: LRU first, then disk.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if a record exists but fails validation —
+    /// deliberately *not* treated as a miss, so silent data loss is
+    /// surfaced to the operator instead of papered over by re-simulation.
+    /// [`StoreError::Io`] on filesystem failures other than not-found.
+    pub fn get(&self, key: SimKey) -> Result<Option<SimResult>, StoreError> {
+        if let Some(hit) = self.lru.lock().expect("store lock").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(hit));
+        }
+        let Some(path) = self.entry_path(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        };
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+            Err(e) => return Err(StoreError::io_at(&path)(e)),
+        };
+        let result = decode_sim_result(&bytes).map_err(|source| StoreError::Corrupt {
+            path: path.clone(),
+            source,
+        })?;
+        self.lru
+            .lock()
+            .expect("store lock")
+            .insert(key, result.clone());
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(result))
+    }
+
+    /// Inserts `result` under `key` (memory + disk when persistent).
+    ///
+    /// The disk write goes to a tempfile in the shard directory and is
+    /// published with an atomic rename: a reader either sees the full
+    /// checksummed record or nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn put(&self, key: SimKey, result: &SimResult) -> Result<(), StoreError> {
+        self.lru
+            .lock()
+            .expect("store lock")
+            .insert(key, result.clone());
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        let Some(path) = self.entry_path(key) else {
+            return Ok(());
+        };
+        let shard = path.parent().expect("entry paths have shard parents");
+        fs::create_dir_all(shard).map_err(StoreError::io_at(shard))?;
+        // Unique per process *and* per call, so concurrent writers of the
+        // same key never share a tempfile.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = shard.join(format!(
+            ".{}.tmp.{}.{}",
+            key.to_hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let bytes = encode_sim_result(result);
+        fs::write(&tmp, &bytes).map_err(StoreError::io_at(&tmp))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::io_at(&path)(e)
+        })?;
+        Ok(())
+    }
+
+    /// Number of records currently on disk (0 for ephemeral stores).
+    /// Walks the shard directories; intended for reporting, not hot
+    /// paths.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the root cannot be listed.
+    pub fn disk_entries(&self) -> Result<u64, StoreError> {
+        let Some(dir) = &self.dir else { return Ok(0) };
+        let mut n = 0;
+        for shard in fs::read_dir(dir).map_err(StoreError::io_at(dir))? {
+            let shard = shard.map_err(StoreError::io_at(dir))?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(&shard).map_err(StoreError::io_at(&shard))? {
+                let p = entry.map_err(StoreError::io_at(&shard))?.path();
+                if p.extension().is_some_and(|e| e == "sim") {
+                    n += 1;
+                }
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowvcc_core::{sim_key, CoreConfig, Mechanism, SimConfig, Simulator};
+    use lowvcc_sram::voltage::mv;
+    use lowvcc_sram::CycleTimeModel;
+    use lowvcc_trace::{TraceSpec, WorkloadFamily};
+
+    fn run_one() -> (SimKey, SimResult) {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let cfg = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(500),
+            Mechanism::Iraw,
+        );
+        let spec = TraceSpec::new(WorkloadFamily::Kernel, 0, 3_000);
+        let result = Simulator::new(cfg.clone())
+            .unwrap()
+            .run(&spec.build().unwrap())
+            .unwrap();
+        (sim_key(&cfg, &spec), result)
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lowvcc_store_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trips_through_disk_and_memory() {
+        let dir = tmpdir("roundtrip");
+        let (key, result) = run_one();
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.get(key).unwrap(), None);
+        store.put(key, &result).unwrap();
+        assert_eq!(store.get(key).unwrap(), Some(result.clone()));
+
+        // A fresh store over the same directory reads it from disk.
+        let cold = ResultStore::open(&dir).unwrap();
+        assert_eq!(cold.get(key).unwrap(), Some(result));
+        assert_eq!(cold.stats().hits, 1);
+        assert_eq!(cold.stats().misses, 0);
+        assert_eq!(cold.disk_entries().unwrap(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ephemeral_store_caches_in_memory_only() {
+        let (key, result) = run_one();
+        let store = ResultStore::ephemeral();
+        assert_eq!(store.get(key).unwrap(), None);
+        store.put(key, &result).unwrap();
+        assert_eq!(store.get(key).unwrap(), Some(result));
+        assert_eq!(store.dir(), None);
+        assert_eq!(store.disk_entries().unwrap(), 0);
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+    }
+
+    #[test]
+    fn corrupt_entries_surface_typed_errors() {
+        let dir = tmpdir("corrupt");
+        let (key, result) = run_one();
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(key, &result).unwrap();
+        }
+        // Flip one payload byte on disk.
+        let hex = key.to_hex();
+        let path = dir.join(&hex[..2]).join(format!("{hex}.sim"));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let store = ResultStore::open(&dir).unwrap();
+        let err = store.get(key).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("corrupt store entry"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_under_pressure() {
+        let (key, result) = run_one();
+        let store = ResultStore::ephemeral().with_lru_capacity(2);
+        // Three distinct keys from three voltages.
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let keys: Vec<SimKey> = [450u32, 500, 550]
+            .iter()
+            .map(|&v| {
+                let cfg =
+                    SimConfig::at_vcc(CoreConfig::silverthorne(), &timing, mv(v), Mechanism::Iraw);
+                sim_key(&cfg, &TraceSpec::new(WorkloadFamily::Kernel, 0, 3_000))
+            })
+            .collect();
+        let _ = key;
+        for &k in &keys {
+            store.put(k, &result).unwrap();
+        }
+        // Capacity 2: the first key fell out, the last two stayed.
+        assert_eq!(store.get(keys[0]).unwrap(), None);
+        assert!(store.get(keys[1]).unwrap().is_some());
+        assert!(store.get(keys[2]).unwrap().is_some());
+    }
+
+    #[test]
+    fn hit_only_traffic_keeps_the_recency_queue_bounded() {
+        // A warmed daemon's steady state is gets with no inserts; the
+        // recency queue must stay bounded anyway.
+        let (key, result) = run_one();
+        let mut lru = Lru::new(2);
+        lru.insert(key, result);
+        for _ in 0..10_000 {
+            assert!(lru.get(key).is_some());
+        }
+        let bound = 2usize.saturating_mul(4).max(64) + 1;
+        assert!(
+            lru.recency.len() <= bound,
+            "queue grew to {} entries on a hit-only workload",
+            lru.recency.len()
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_never_publish_torn_records() {
+        let dir = tmpdir("concurrent");
+        let (key, result) = run_one();
+        let store = ResultStore::open(&dir).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        store.put(key, &result).unwrap();
+                        assert!(store.get(key).unwrap().is_some());
+                    }
+                });
+            }
+        });
+        let cold = ResultStore::open(&dir).unwrap();
+        assert_eq!(cold.get(key).unwrap(), Some(result));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

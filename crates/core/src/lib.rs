@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
+pub mod canon;
 pub mod config;
 pub mod error;
 pub mod iraw;
@@ -46,6 +47,9 @@ pub mod sim;
 pub mod stats;
 
 pub use adapt::{adapt_at, AdaptGoal, AdaptOutcome};
+pub use canon::{
+    decode_sim_result, encode_sim_result, sim_key, CanonError, SimKey, ENGINE_SEMANTICS_VERSION,
+};
 pub use config::{CoreConfig, Mechanism, SimConfig};
 pub use error::{ConfigError, SimError};
 pub use iraw::{IrawController, IrawSettings};

@@ -8,6 +8,7 @@
 //! identical for any thread count (including errors: the reported error
 //! is the first in suite order, not the first in wall-clock order).
 
+use std::borrow::Borrow;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -135,12 +136,17 @@ pub fn run_suite(cfg: &SimConfig, traces: &[Trace]) -> Result<SuiteResult, SimEr
 /// threads. Deterministic: the result (including which error is
 /// reported) is identical for any `par`.
 ///
+/// Generic over [`Borrow<Trace>`] so callers can pass owned traces
+/// (`&[Trace]`) or a borrowed subset (`&[&Trace]`) — the result cache
+/// uses the latter to simulate only the suite's cache misses without
+/// cloning multi-megabyte traces.
+///
 /// # Errors
 ///
 /// Propagates the suite-order-first simulation error.
-pub fn run_suite_with(
+pub fn run_suite_with<T: Borrow<Trace> + Sync>(
     cfg: &SimConfig,
-    traces: &[Trace],
+    traces: &[T],
     par: Parallelism,
 ) -> Result<SuiteResult, SimError> {
     let sim = Simulator::new(cfg.clone())?;
@@ -148,6 +154,7 @@ pub fn run_suite_with(
     if workers <= 1 {
         let mut per_trace = Vec::with_capacity(traces.len());
         for t in traces {
+            let t = t.borrow();
             let r = sim.run(t)?;
             per_trace.push((t.name.clone(), r));
         }
@@ -176,7 +183,7 @@ pub fn run_suite_with(
                             // this worker would claim next is even later.
                             break;
                         }
-                        let r = sim.run(t);
+                        let r = sim.run(t.borrow());
                         if r.is_err() {
                             first_err.fetch_min(i, Ordering::Relaxed);
                         }
@@ -194,7 +201,7 @@ pub fn run_suite_with(
     tagged.sort_unstable_by_key(|&(i, _)| i);
     let mut per_trace = Vec::with_capacity(traces.len());
     for (i, r) in tagged {
-        per_trace.push((traces[i].name.clone(), r?));
+        per_trace.push((traces[i].borrow().name.clone(), r?));
     }
     Ok(SuiteResult { per_trace })
 }

@@ -670,7 +670,7 @@ impl<'t> Engine<'t> {
         let dst = entry.dst.expect("loads have destinations");
         let hit_lat = u64::from(self.cfg.core.lat_dl0_hit);
         if ready_at <= now + hit_lat {
-            let lat = (ready_at - now).max(1) as u32;
+            let lat = short_producer_latency(ready_at, now);
             let window = self.window;
             self.sb.set_producer(dst, lat, window);
             self.shadow.set_producer(dst, lat, None);
@@ -691,6 +691,15 @@ impl<'t> Engine<'t> {
             });
         }
     }
+}
+
+/// Scoreboard latency of a short-latency load producer. A `ready_at` at
+/// or before `now` (reachable only through stale Store-Table forwarding
+/// state) must clamp to a 1-cycle producer — a raw `ready_at - now`
+/// wraps in release builds and poisons the scoreboard for billions of
+/// cycles (the `saturating_sub` idiom `try_skip` already uses).
+fn short_producer_latency(ready_at: u64, now: u64) -> u32 {
+    ready_at.saturating_sub(now).max(1) as u32
 }
 
 #[cfg(test)]
@@ -994,5 +1003,21 @@ mod tests {
             .collect();
         assert!(results[0].seconds() <= results[1].seconds());
         assert!(results[1].seconds() <= results[2].seconds());
+    }
+
+    /// Regression: `execute_load` computed `(ready_at - now).max(1)`,
+    /// which wraps in release builds whenever a Store-Table forward
+    /// leaves a stale `ready_at` behind `now`. The clamped helper must
+    /// treat any past-or-present `ready_at` as a 1-cycle producer and
+    /// still report real future latencies exactly.
+    #[test]
+    fn stale_ready_at_clamps_instead_of_wrapping() {
+        // The stale path: ready_at strictly behind now.
+        assert_eq!(short_producer_latency(0, 10), 1);
+        assert_eq!(short_producer_latency(9, 10), 1);
+        // Boundary: ready this very cycle still costs one cycle.
+        assert_eq!(short_producer_latency(10, 10), 1);
+        // Genuine future readiness is passed through unchanged.
+        assert_eq!(short_producer_latency(13, 10), 3);
     }
 }

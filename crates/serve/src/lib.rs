@@ -1,0 +1,420 @@
+//! `lowvcc-serve`: a long-lived query daemon over the content-addressed
+//! result cache.
+//!
+//! The batch `experiments` binary recomputes every figure per run; this
+//! daemon inverts that shape for repeated traffic — characterization
+//! studies, dashboards, CI — by keeping the trace suite, the calibrated
+//! models and a [`ResultStore`] resident, and answering queries over
+//! TCP. Cached operating points come back without simulating; misses are
+//! simulated once through the work-stealing parallel runner and stored.
+//!
+//! ## Protocol
+//!
+//! Newline-delimited JSON over a plain TCP socket. One request object
+//! per line, one response object per line, in order. Requests:
+//!
+//! ```text
+//! {"experiment": "ping"}
+//! {"experiment": "stats"}
+//! {"experiment": "sweep"}                  → all 13 voltages
+//! {"experiment": "sweep", "vcc": 575}      → one operating point
+//! {"experiment": "table1", "vcc": 500}     → quantitative Table 1 rows
+//! {"experiment": "stalls", "vcc": 575}     → §5.2 stall attribution
+//! {"experiment": "shutdown"}
+//! ```
+//!
+//! Every response carries `"ok"`; successes echo the experiment and a
+//! `"cached"` flag (true when the request performed zero simulations),
+//! failures carry `"error"`. Malformed lines never kill the connection.
+//! `shutdown` answers, closes the connection and stops the accept loop —
+//! the graceful path the smoke test exercises.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use lowvcc_bench::experiments::{point, point_json, stalls, sweep, table1};
+use lowvcc_bench::{json, ExperimentContext, ExperimentError, ResultStore};
+use lowvcc_sram::Millivolts;
+
+/// A parsed, validated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Cache-traffic counters and suite identity.
+    Stats,
+    /// The Figure 11b/12 measurement — one voltage, or the full grid.
+    Sweep(Option<Millivolts>),
+    /// Quantitative Table 1 rows at a voltage (default 500 mV).
+    Table1(Millivolts),
+    /// §5.2 stall attribution at a voltage (default 575 mV).
+    Stalls(Millivolts),
+    /// Stop accepting and exit the serve loop.
+    Shutdown,
+}
+
+fn parse_vcc(v: Option<&json::Value>, default_mv: u32) -> Result<Millivolts, String> {
+    let mv = match v {
+        None => default_mv,
+        Some(v) => u32::try_from(
+            v.as_u64()
+                .ok_or_else(|| "\"vcc\" must be a whole number of millivolts".to_string())?,
+        )
+        .map_err(|_| "\"vcc\" out of range".to_string())?,
+    };
+    Millivolts::new(mv).map_err(|e| e.to_string())
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, unknown
+/// experiments, or out-of-model voltages.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let experiment = v
+        .get("experiment")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| "request needs a string \"experiment\" field".to_string())?;
+    match experiment {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "sweep" => match v.get("vcc") {
+            None => Ok(Request::Sweep(None)),
+            some => Ok(Request::Sweep(Some(parse_vcc(some, 0)?))),
+        },
+        "table1" => Ok(Request::Table1(parse_vcc(v.get("vcc"), 500)?)),
+        "stalls" => Ok(Request::Stalls(parse_vcc(v.get("vcc"), 575)?)),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown experiment {other:?}")),
+    }
+}
+
+/// The resident daemon state: context (with its store) plus bookkeeping.
+pub struct Daemon {
+    ctx: ExperimentContext,
+}
+
+impl Daemon {
+    /// Wraps a context. A result cache is what makes the daemon useful:
+    /// contexts without one get an in-memory (ephemeral) store attached.
+    #[must_use]
+    pub fn new(ctx: ExperimentContext) -> Self {
+        let ctx = if ctx.cache.is_some() {
+            ctx
+        } else {
+            let store = std::sync::Arc::new(ResultStore::ephemeral());
+            ctx.with_cache(store)
+        };
+        Self { ctx }
+    }
+
+    /// The wrapped context.
+    #[must_use]
+    pub fn context(&self) -> &ExperimentContext {
+        &self.ctx
+    }
+
+    fn store(&self) -> &ResultStore {
+        self.ctx
+            .cache
+            .as_deref()
+            .expect("daemon always has a store")
+    }
+
+    /// Pre-fills the store: the full sweep grid, plus Table 1 and the
+    /// stall study at their protocol-default voltages (500 / 575 mV).
+    /// `sweep` queries are then hits at every grid point; a `table1` or
+    /// `stalls` query at a *non-default* voltage still simulates its
+    /// extra configurations once on first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and cache failures.
+    pub fn warm(&self) -> Result<(), ExperimentError> {
+        sweep::run_sweep(&self.ctx)?;
+        table1::quantitative_rows_at(&self.ctx, Millivolts::new(500).expect("grid voltage"))?;
+        stalls::measure(&self.ctx)?;
+        Ok(())
+    }
+
+    /// Executes `req`, returning the response line (without newline) and
+    /// whether the connection should shut the daemon down.
+    #[must_use]
+    pub fn handle(&self, req: Request) -> (String, bool) {
+        match self.respond(req) {
+            Ok((body, stop)) => (body, stop),
+            Err(e) => (
+                json::object(&[
+                    ("ok", json::boolean(false)),
+                    ("error", json::string(&e.to_string())),
+                ]),
+                false,
+            ),
+        }
+    }
+
+    /// Parses and executes one raw request line.
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        match parse_request(line) {
+            Ok(req) => self.handle(req),
+            Err(msg) => (
+                json::object(&[("ok", json::boolean(false)), ("error", json::string(&msg))]),
+                false,
+            ),
+        }
+    }
+
+    fn respond(&self, req: Request) -> Result<(String, bool), ExperimentError> {
+        // "Did this request simulate?" == did the store's miss counter
+        // move while we served it.
+        let misses_before = self.store().stats().misses;
+        let cached = |store: &ResultStore| store.stats().misses == misses_before;
+        match req {
+            Request::Ping => Ok((
+                json::object(&[("ok", json::boolean(true)), ("pong", json::boolean(true))]),
+                false,
+            )),
+            Request::Shutdown => Ok((
+                json::object(&[
+                    ("ok", json::boolean(true)),
+                    ("shutdown", json::boolean(true)),
+                ]),
+                true,
+            )),
+            Request::Stats => {
+                let s = self.store().stats();
+                let disk = self.store().disk_entries()?;
+                Ok((
+                    json::object(&[
+                        ("ok", json::boolean(true)),
+                        ("suite", json::string(&self.ctx.suite_label)),
+                        ("suite_uops", self.ctx.total_uops().to_string()),
+                        ("hits", s.hits.to_string()),
+                        ("misses", s.misses.to_string()),
+                        ("stores", s.stores.to_string()),
+                        ("simulated_uops", s.simulated_uops.to_string()),
+                        ("disk_entries", disk.to_string()),
+                        ("persistent", json::boolean(self.store().dir().is_some())),
+                    ]),
+                    false,
+                ))
+            }
+            Request::Sweep(Some(vcc)) => {
+                let p = point(&self.ctx, vcc)?;
+                Ok((
+                    json::object(&[
+                        ("ok", json::boolean(true)),
+                        ("experiment", json::string("sweep")),
+                        ("cached", json::boolean(cached(self.store()))),
+                        ("point", point_json(&p)),
+                    ]),
+                    false,
+                ))
+            }
+            Request::Sweep(None) => {
+                let points = sweep::run_sweep(&self.ctx)?;
+                let rendered: Vec<String> = points.iter().map(point_json).collect();
+                Ok((
+                    json::object(&[
+                        ("ok", json::boolean(true)),
+                        ("experiment", json::string("sweep")),
+                        ("cached", json::boolean(cached(self.store()))),
+                        ("points", json::array(&rendered)),
+                    ]),
+                    false,
+                ))
+            }
+            Request::Table1(vcc) => {
+                let rows = table1::quantitative_rows_at(&self.ctx, vcc)?;
+                let rendered: Vec<String> = rows
+                    .iter()
+                    .map(|r| {
+                        json::object(&[
+                            ("technique", json::string(&r.technique)),
+                            ("frequency_gain", json::number(r.frequency_gain)),
+                            ("speedup", json::number(r.speedup)),
+                            ("relative_ipc", json::number(r.relative_ipc)),
+                            ("area_fraction", json::number(r.area_fraction)),
+                            ("energy_factor", json::number(r.energy_factor)),
+                            ("hard_to_test", json::boolean(r.hard_to_test)),
+                        ])
+                    })
+                    .collect();
+                Ok((
+                    json::object(&[
+                        ("ok", json::boolean(true)),
+                        ("experiment", json::string("table1")),
+                        ("vcc_mv", vcc.millivolts().to_string()),
+                        ("cached", json::boolean(cached(self.store()))),
+                        ("rows", json::array(&rendered)),
+                    ]),
+                    false,
+                ))
+            }
+            Request::Stalls(vcc) => {
+                let r = stalls::measure_at(&self.ctx, vcc)?;
+                Ok((
+                    json::object(&[
+                        ("ok", json::boolean(true)),
+                        ("experiment", json::string("stalls")),
+                        ("vcc_mv", vcc.millivolts().to_string()),
+                        ("cached", json::boolean(cached(self.store()))),
+                        ("total_degradation", json::number(r.total_degradation)),
+                        ("rf_share", json::number(r.rf_share)),
+                        ("iq_share", json::number(r.iq_share)),
+                        ("dl0_share", json::number(r.dl0_share)),
+                        ("other_share", json::number(r.other_share)),
+                        ("delayed_fraction", json::number(r.delayed_fraction)),
+                    ]),
+                    false,
+                ))
+            }
+        }
+    }
+
+    /// Runs the accept loop until a `shutdown` request (or a listener
+    /// error). Connections are handled sequentially and fully — the
+    /// store keeps popular answers warm, so responses are fast; a
+    /// request that does simulate still fans out over the context's
+    /// worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures (per-connection errors only
+    /// end that connection).
+    pub fn serve(&self, listener: &TcpListener) -> std::io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            if self.serve_connection(stream) {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves one connection to EOF; returns true on a shutdown request.
+    fn serve_connection(&self, stream: TcpStream) -> bool {
+        // An idle or stalled client must not wedge the daemon forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return false,
+        };
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, stop) = self.handle_line(&line);
+            if writer
+                .write_all(response.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daemon() -> Daemon {
+        Daemon::new(ExperimentContext::sized(1, 2_000).expect("tiny suite builds"))
+    }
+
+    #[test]
+    fn parses_the_protocol() {
+        assert_eq!(parse_request(r#"{"experiment":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(
+            parse_request(r#"{"experiment":"sweep"}"#),
+            Ok(Request::Sweep(None))
+        );
+        assert_eq!(
+            parse_request(r#"{"experiment":"sweep","vcc":575}"#),
+            Ok(Request::Sweep(Some(Millivolts::new(575).unwrap())))
+        );
+        assert_eq!(
+            parse_request(r#"{"experiment":"table1"}"#),
+            Ok(Request::Table1(Millivolts::new(500).unwrap()))
+        );
+        assert_eq!(
+            parse_request(r#"{"experiment":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        );
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"experiment":"lunch"}"#).is_err());
+        assert!(parse_request(r#"{"experiment":"sweep","vcc":"high"}"#).is_err());
+        assert!(parse_request(r#"{"experiment":"sweep","vcc":12345}"#).is_err());
+        assert!(parse_request(r#"{"vcc":500}"#).is_err());
+    }
+
+    #[test]
+    fn ping_and_malformed_lines_answer_inline() {
+        let d = daemon();
+        let (resp, stop) = d.handle_line(r#"{"experiment":"ping"}"#);
+        assert!(!stop);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+
+        let (resp, stop) = d.handle_line("garbage");
+        assert!(!stop);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert!(v.get("error").is_some());
+    }
+
+    #[test]
+    fn sweep_point_misses_then_hits() {
+        let d = daemon();
+        let vcc = r#"{"experiment":"sweep","vcc":575}"#;
+        let (first, _) = d.handle_line(vcc);
+        let v = json::parse(&first).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(false));
+        let p = v.get("point").unwrap();
+        assert_eq!(p.get("vcc_mv").unwrap().as_u64(), Some(575));
+        assert!(p.get("speedup").unwrap().as_f64().unwrap() > 0.5);
+
+        let (second, _) = d.handle_line(vcc);
+        let v2 = json::parse(&second).unwrap();
+        assert_eq!(
+            v2.get("cached").unwrap().as_bool(),
+            Some(true),
+            "repeat query must be answered from the store"
+        );
+        // Identical payload both times — the determinism the cache
+        // relies on, observable at the protocol level.
+        assert_eq!(v.get("point"), v2.get("point"));
+    }
+
+    #[test]
+    fn stats_reflect_traffic_and_shutdown_stops() {
+        let d = daemon();
+        let (_, _) = d.handle_line(r#"{"experiment":"sweep","vcc":500}"#);
+        let (resp, _) = d.handle_line(r#"{"experiment":"stats"}"#);
+        let v = json::parse(&resp).unwrap();
+        assert!(v.get("misses").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(v.get("persistent").unwrap().as_bool(), Some(false));
+
+        let (resp, stop) = d.handle_line(r#"{"experiment":"shutdown"}"#);
+        assert!(stop);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    }
+}

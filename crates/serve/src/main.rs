@@ -1,0 +1,128 @@
+//! The `lowvcc-serve` binary: bind, optionally pre-fill, serve.
+//!
+//! ```text
+//! lowvcc-serve [--suite quick|standard|paper|NxLEN] [--cache DIR]
+//!              [--jobs N] [--addr HOST:PORT] [--warm]
+//! ```
+//!
+//! Defaults: quick suite, in-memory store, all hardware threads,
+//! `127.0.0.1:0` (ephemeral port). The bound address is announced on
+//! stdout as `lowvcc-serve listening on HOST:PORT` so harnesses can
+//! scrape the port. `--warm` runs the full sweep grid plus Table 1 and
+//! the stall study at their default voltages once before accepting, so
+//! sweep queries (and default-voltage table1/stalls queries) are cache
+//! hits from the first request; non-default table1/stalls voltages
+//! simulate once on demand. `--cache DIR` shares the store with
+//! `experiments --cache DIR` — either can warm it for the other.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use lowvcc_bench::{ResultStore, SuiteChoice};
+use lowvcc_core::Parallelism;
+use lowvcc_serve::Daemon;
+
+const USAGE: &str = "usage: lowvcc-serve [--suite quick|standard|paper|NxLEN] [--cache DIR] \
+                     [--jobs N] [--addr HOST:PORT] [--warm]";
+
+struct Options {
+    suite: String,
+    cache: Option<PathBuf>,
+    jobs: usize,
+    addr: String,
+    warm: bool,
+    help: bool,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+    let mut o = Options {
+        suite: "quick".to_string(),
+        cache: None,
+        jobs: Parallelism::available().count(),
+        addr: "127.0.0.1:0".to_string(),
+        warm: false,
+        help: false,
+    };
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--suite" => match args.next() {
+                Some(v) => o.suite = v,
+                None => return Err("--suite needs a value".into()),
+            },
+            "--cache" => match args.next() {
+                Some(v) => o.cache = Some(PathBuf::from(v)),
+                None => return Err("--cache needs a value".into()),
+            },
+            "--addr" => match args.next() {
+                Some(v) => o.addr = v,
+                None => return Err("--addr needs a value".into()),
+            },
+            "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => o.jobs = n,
+                Some(_) => return Err("--jobs needs a positive integer".into()),
+                None => return Err("--jobs needs a value".into()),
+            },
+            "--warm" => o.warm = true,
+            "--help" | "-h" => o.help = true,
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(o)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args(std::env::args().skip(1))?;
+    if opts.help {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    // Same grammar and degenerate-input rejections as `experiments`.
+    let mut ctx = SuiteChoice::parse(&opts.suite)?
+        .build()
+        .map_err(|e| e.to_string())?
+        .with_parallelism(Parallelism::threads(opts.jobs));
+    if let Some(dir) = &opts.cache {
+        let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
+        ctx = ctx.with_cache(Arc::new(store));
+    }
+    let daemon = Daemon::new(ctx);
+    if opts.warm {
+        eprintln!("warming the store (full sweep grid + Table 1 + stall study)…");
+        daemon.warm().map_err(|e| e.to_string())?;
+        eprintln!("store warm");
+    }
+    let listener =
+        TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("no local address: {e}"))?;
+    println!("lowvcc-serve listening on {local}");
+    eprintln!(
+        "suite {} ({} uops), store {}, {} jobs; send {{\"experiment\":\"shutdown\"}} to stop",
+        daemon.context().suite_label,
+        daemon.context().total_uops(),
+        daemon
+            .context()
+            .cache
+            .as_ref()
+            .and_then(|s| s.dir())
+            .map_or_else(|| "in-memory".to_string(), |d| d.display().to_string()),
+        opts.jobs,
+    );
+    daemon.serve(&listener).map_err(|e| e.to_string())?;
+    eprintln!("shutdown requested; exiting cleanly");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

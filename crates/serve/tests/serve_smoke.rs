@@ -1,0 +1,72 @@
+//! End-to-end smoke test of the daemon over a real TCP socket: start,
+//! several requests (miss → hit), graceful shutdown, loop exit.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use lowvcc_bench::{json, ExperimentContext};
+use lowvcc_serve::Daemon;
+
+fn request(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> json::Value {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    json::parse(response.trim_end()).expect("daemon speaks valid JSON")
+}
+
+#[test]
+fn daemon_serves_and_shuts_down_cleanly() {
+    let ctx = ExperimentContext::sized(1, 2_000).expect("tiny suite builds");
+    let daemon = Daemon::new(ctx);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| daemon.serve(&listener));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        // Liveness.
+        let v = request(&mut stream, &mut reader, r#"{"experiment":"ping"}"#);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+
+        // First sweep query simulates; the repeat is served from the store.
+        let v = request(
+            &mut stream,
+            &mut reader,
+            r#"{"experiment":"sweep","vcc":575}"#,
+        );
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(false));
+        let first_point = v.get("point").unwrap().clone();
+        let v = request(
+            &mut stream,
+            &mut reader,
+            r#"{"experiment":"sweep","vcc":575}"#,
+        );
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("point"), Some(&first_point));
+
+        // A malformed line answers with an error, connection intact.
+        let v = request(&mut stream, &mut reader, "{broken");
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+
+        // Stats see the traffic.
+        let v = request(&mut stream, &mut reader, r#"{"experiment":"stats"}"#);
+        assert!(v.get("hits").unwrap().as_u64().unwrap() > 0);
+
+        // Graceful shutdown: acknowledged, then the serve loop returns.
+        let v = request(&mut stream, &mut reader, r#"{"experiment":"shutdown"}"#);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("shutdown").unwrap().as_bool(), Some(true));
+
+        handle
+            .join()
+            .expect("serve thread exits")
+            .expect("serve loop returns cleanly");
+    });
+}

@@ -1,9 +1,13 @@
 //! End-to-end reproduction checks: every paper artefact regenerated on a
 //! small suite, with its qualitative *shape* asserted — crossover
-//! voltages, who wins, and rough factors.
+//! voltages, who wins, and rough factors — plus the result-cache
+//! contract: strict-JSON round trips, bit-identical warm replays, and
+//! typed corruption surfacing.
+
+use std::sync::Arc;
 
 use lowvcc_bench::experiments::{fig1, fig11a, run_all, stalls, sweep, table1};
-use lowvcc_bench::ExperimentContext;
+use lowvcc_bench::{json, ExperimentContext, ExperimentError, ResultStore};
 
 fn ctx() -> ExperimentContext {
     ExperimentContext::quick().expect("quick suite builds")
@@ -145,5 +149,132 @@ fn full_report_generates_and_writes_csvs() {
     ] {
         assert!(dir.join(csv).exists(), "missing {csv}");
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every `--json` document must survive the strict parser and carry the
+/// full sweep grid with finite numbers (non-finite floats become `null`,
+/// never bare `inf`/`NaN` tokens).
+#[test]
+fn json_documents_round_trip_through_the_strict_parser() {
+    let dir = std::env::temp_dir().join(format!("lowvcc_it_json_{}", std::process::id()));
+    let ctx = ExperimentContext::sized(1, 2_000).expect("tiny suite builds");
+    let summary = run_all(&ctx, &dir).expect("runs");
+    let doc = summary.to_json(&ctx.suite_label, ctx.total_uops(), 1);
+    let v = json::parse(&doc).expect("strictly valid JSON");
+    assert_eq!(
+        v.get("suite").unwrap().as_str(),
+        Some(ctx.suite_label.as_str())
+    );
+    let points = v.get("points").unwrap().as_array().unwrap();
+    assert_eq!(points.len(), 13);
+    let grid: Vec<u64> = points
+        .iter()
+        .map(|p| p.get("vcc_mv").unwrap().as_u64().unwrap())
+        .collect();
+    assert_eq!(grid.first(), Some(&700));
+    assert_eq!(grid.last(), Some(&400));
+    for p in points {
+        for field in [
+            "frequency_gain",
+            "speedup",
+            "relative_edp",
+            "baseline_leakage_fraction",
+        ] {
+            let x = p.get(field).unwrap().as_f64().unwrap();
+            assert!(x.is_finite(), "{field} must be finite, got {x}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cache contract end to end: a warm `run_all` replay performs zero
+/// simulations yet produces a byte-identical report and bit-identical
+/// sweep measurements (`SweepPoint` is all-`f64` — equality here is
+/// bit-equality of every derived statistic).
+#[test]
+fn warm_cached_rerun_is_simulation_free_and_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("lowvcc_it_cache_{}", std::process::id()));
+    let out = dir.join("out");
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = ExperimentContext::sized(1, 2_000).expect("tiny suite builds");
+
+    let uncached = run_all(&base.clone(), &out).expect("uncached run");
+
+    let store = Arc::new(ResultStore::open(dir.join("store")).expect("store opens"));
+    let cold_ctx = base.clone().with_cache(Arc::clone(&store));
+    let cold = run_all(&cold_ctx, &out).expect("cold cached run");
+    let cold_misses = store.stats().misses;
+    assert!(cold_misses > 0, "cold run must simulate");
+    assert_eq!(cold.sweep, uncached.sweep, "cache must not change results");
+
+    assert_eq!(
+        cold.sweep_uops, uncached.sweep_uops,
+        "a cold cached sweep simulates exactly what an uncached one does"
+    );
+
+    let warm = run_all(&cold_ctx, &out).expect("warm cached run");
+    assert_eq!(
+        store.stats().misses,
+        cold_misses,
+        "warm run must perform zero simulations"
+    );
+    assert_eq!(warm.sweep, cold.sweep, "warm sweep bit-identical");
+    assert_eq!(warm.report, cold.report, "warm report byte-identical");
+    assert_eq!(
+        warm.sweep_uops, 0,
+        "the throughput numerator counts engine work, not cache hits"
+    );
+
+    // A brand-new process (fresh store handle over the same directory)
+    // also replays without simulating: persistence, not just the LRU.
+    let fresh = Arc::new(ResultStore::open(dir.join("store")).expect("store reopens"));
+    let fresh_ctx = base.with_cache(Arc::clone(&fresh));
+    let replay = run_all(&fresh_ctx, &out).expect("replay run");
+    assert_eq!(fresh.stats().misses, 0, "disk replay simulates nothing");
+    assert_eq!(replay.sweep, cold.sweep);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A flipped byte in a store entry surfaces a typed corruption error —
+/// the experiment fails loudly instead of producing garbage statistics.
+#[test]
+fn corrupt_store_entry_surfaces_a_typed_error() {
+    let dir = std::env::temp_dir().join(format!("lowvcc_it_corrupt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = ExperimentContext::sized(1, 2_000).expect("tiny suite builds");
+    let store = Arc::new(ResultStore::open(&dir).expect("store opens"));
+    let ctx = base.with_cache(Arc::clone(&store));
+    let vcc = lowvcc_sram::Millivolts::new(575).unwrap();
+    sweep::point(&ctx, vcc).expect("cold point");
+
+    // Flip one byte in every record; the next read must refuse them all.
+    let mut flipped = 0;
+    for shard in std::fs::read_dir(&dir).unwrap() {
+        let shard = shard.unwrap().path();
+        if !shard.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&shard).unwrap() {
+            let p = entry.unwrap().path();
+            let mut bytes = std::fs::read(&p).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x20;
+            std::fs::write(&p, bytes).unwrap();
+            flipped += 1;
+        }
+    }
+    assert!(flipped > 0, "the cold run persisted records");
+
+    // A fresh handle (cold LRU) must hit the corrupt bytes and refuse.
+    let fresh = Arc::new(ResultStore::open(&dir).expect("store reopens"));
+    let base2 = ExperimentContext::sized(1, 2_000).expect("suite rebuilds");
+    let ctx2 = base2.with_cache(fresh);
+    let err = sweep::point(&ctx2, vcc).expect_err("corruption must not pass silently");
+    assert!(
+        matches!(err, ExperimentError::Store(_)),
+        "expected a typed store error, got {err}"
+    );
+    assert!(err.to_string().contains("corrupt store entry"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
