@@ -9,7 +9,7 @@ use lowvcc_core::{
 };
 
 use crate::error::ExperimentError;
-use crate::store::ResultStore;
+use crate::store::{Flight, FlightGuard, FlightWaiter, ResultStore};
 use lowvcc_energy::EnergyModel;
 use lowvcc_sram::{CycleTimeModel, Millivolts};
 use lowvcc_trace::{suite, Trace, TraceSpec};
@@ -205,6 +205,14 @@ impl ExperimentContext {
     /// same inputs — the determinism guarantee of DESIGN.md §6 is what
     /// makes keyed reuse sound.
     ///
+    /// Misses go through the store's **single-flight** layer: this call
+    /// simulates only the keys it claims leadership of (as one parallel
+    /// batch over the work-stealing runner) and *waits* for keys some
+    /// concurrent caller is already simulating — so N identical
+    /// concurrent suite runs perform each simulation exactly once.
+    /// Waiting happens after our own batch, so concurrent distinct
+    /// workloads overlap instead of serializing.
+    ///
     /// # Errors
     ///
     /// Propagates simulation failures and typed cache failures (corrupt
@@ -228,25 +236,39 @@ impl ExperimentContext {
             "ExperimentContext.specs must stay index-aligned with .suite"
         );
         let mut slots: Vec<Option<(String, lowvcc_core::SimResult)>> =
-            Vec::with_capacity(self.suite.len());
-        let mut missing: Vec<usize> = Vec::new();
-        for (i, (spec, trace)) in self.specs.iter().zip(&self.suite).enumerate() {
-            match store.get(sim_key(cfg, spec))? {
-                Some(result) => slots.push(Some((trace.name.clone(), result))),
-                None => {
-                    slots.push(None);
-                    missing.push(i);
+            self.suite.iter().map(|_| None).collect();
+        let mut unresolved: Vec<usize> = (0..self.suite.len()).collect();
+        while !unresolved.is_empty() {
+            let mut leaders: Vec<(usize, FlightGuard<'_>)> = Vec::new();
+            let mut pending: Vec<(usize, FlightWaiter)> = Vec::new();
+            for &i in &unresolved {
+                match store.lookup(sim_key(cfg, &self.specs[i]))? {
+                    Flight::Hit(result) => slots[i] = Some((self.suite[i].name.clone(), *result)),
+                    Flight::Lead(guard) => leaders.push((i, guard)),
+                    Flight::Pending(waiter) => pending.push((i, waiter)),
                 }
             }
-        }
-        if !missing.is_empty() {
-            let refs: Vec<&Trace> = missing.iter().map(|&i| &self.suite[i]).collect();
-            store.note_simulated_uops(refs.iter().map(|t| t.len() as u64).sum());
-            let fresh = run_suite_with(cfg, &refs, self.parallelism)?;
-            for (&i, (name, result)) in missing.iter().zip(fresh.per_trace) {
-                store.put(sim_key(cfg, &self.specs[i]), &result)?;
-                slots[i] = Some((name, result));
+            if !leaders.is_empty() {
+                let refs: Vec<&Trace> = leaders.iter().map(|&(i, _)| &self.suite[i]).collect();
+                store.note_simulated_uops(refs.iter().map(|t| t.len() as u64).sum());
+                // On error the guards drop unpublished, waking every
+                // waiter to re-arbitrate; the error propagates here.
+                let fresh = run_suite_with(cfg, &refs, self.parallelism)?;
+                for ((i, guard), (name, result)) in leaders.into_iter().zip(fresh.per_trace) {
+                    store.put(sim_key(cfg, &self.specs[i]), &result)?;
+                    drop(guard); // publish: retires the flight, wakes waiters
+                    slots[i] = Some((name, result));
+                }
             }
+            // A retired flight either published (next round hits) or was
+            // abandoned by an erroring leader (next round claims it).
+            unresolved = pending
+                .into_iter()
+                .map(|(i, waiter)| {
+                    waiter.wait();
+                    i
+                })
+                .collect();
         }
         Ok(SuiteResult {
             per_trace: slots
@@ -321,6 +343,30 @@ mod tests {
         assert_eq!(store.stats().hits, 7);
         assert_eq!(uncached, cold);
         assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn concurrent_identical_runs_simulate_each_key_once() {
+        let ctx = ExperimentContext::sized(1, 3_000).unwrap();
+        let cfg = SimConfig::at_vcc(ctx.core, &ctx.timing, mv(500), Mechanism::Iraw);
+        let sequential = ctx.run_suite(&cfg).unwrap();
+        let store = Arc::new(ResultStore::ephemeral());
+        let ctx = ctx.with_cache(Arc::clone(&store));
+        let results: Vec<SuiteResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| ctx.run_suite(&cfg))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap().unwrap())
+                .collect()
+        });
+        // Single-flight: 4 identical cold runs cost exactly 7 engine
+        // invocations (one per trace), and everyone agrees bit-for-bit
+        // with the uncached sequential answer.
+        assert_eq!(store.stats().misses, 7, "one simulation per key");
+        assert_eq!(store.stats().stores, 7);
+        for r in &results {
+            assert_eq!(*r, sequential);
+        }
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod store;
 pub use context::{ExperimentContext, SuiteChoice};
 pub use error::ExperimentError;
 pub use report::TextTable;
-pub use store::{ResultStore, StoreError, StoreStats};
+pub use store::{Flight, FlightGuard, FlightWaiter, ResultStore, StoreError, StoreStats};

@@ -17,7 +17,16 @@
 //! hashed into every key *and* embedded in every record, so results from
 //! an older engine simply miss (and fail closed if a record is somehow
 //! reached through a colliding path).
+//!
+//! For concurrent callers (the `lowvcc-serve` worker pool, parallel
+//! `experiments` runs sharing one store) there is a **single-flight**
+//! layer: [`ResultStore::lookup`] hands exactly one caller per key a
+//! [`FlightGuard`] (the *leader*, who simulates and publishes) while
+//! every other caller gets a [`FlightWaiter`] that blocks until the
+//! leader finishes — so N identical concurrent cold queries trigger
+//! exactly one engine invocation.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
@@ -25,7 +34,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use lowvcc_core::{decode_sim_result, encode_sim_result, CanonError, SimKey, SimResult};
 
@@ -95,6 +104,109 @@ pub struct StoreStats {
     /// store (cache hits contribute nothing) — the honest numerator for
     /// throughput figures on cached runs.
     pub simulated_uops: u64,
+    /// Lookups that found another caller already simulating the same key
+    /// and waited for its result instead of re-simulating (the
+    /// single-flight layer at work).
+    pub coalesced: u64,
+}
+
+thread_local! {
+    // Per-thread miss tally across all stores. A serve worker handles a
+    // whole request on one thread (simulation fans out, but every
+    // store lookup happens here), so a before/after delta answers "did
+    // *this* request simulate?" even while other connections miss
+    // concurrently — the global counter cannot.
+    static THREAD_MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// One in-flight simulation. Waiters block on `cv` until the leader
+/// flips `done` — which its [`FlightGuard`] does on drop, so even a
+/// panicking or erroring leader wakes everyone.
+#[derive(Debug)]
+struct FlightState {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Leadership of one in-flight key: the holder is the unique caller
+/// responsible for simulating it. Publish by calling
+/// [`ResultStore::put`] **before** dropping the guard; dropping it
+/// (publish, error or panic alike) retires the flight and wakes every
+/// [`FlightWaiter`]. A guard dropped without a `put` signals
+/// abandonment — waiters re-probe and one of them claims leadership.
+pub struct FlightGuard<'a> {
+    store: &'a ResultStore,
+    key: SimKey,
+    state: Arc<FlightState>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut inflight = lock(&self.store.inflight);
+        if inflight
+            .get(&self.key)
+            .is_some_and(|s| Arc::ptr_eq(s, &self.state))
+        {
+            inflight.remove(&self.key);
+        }
+        drop(inflight);
+        *lock(&self.state.done) = true;
+        self.state.cv.notify_all();
+    }
+}
+
+impl fmt::Debug for FlightGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightGuard")
+            .field("key", &self.key.to_hex())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A ticket for a simulation some other caller is already running.
+/// [`wait`](Self::wait) blocks until that flight retires, after which a
+/// fresh [`ResultStore::lookup`] either hits (the leader published) or
+/// claims leadership (the leader abandoned).
+#[derive(Debug)]
+pub struct FlightWaiter {
+    state: Arc<FlightState>,
+}
+
+impl FlightWaiter {
+    /// Blocks until the in-flight simulation retires (publish or
+    /// abandon). Re-`lookup` afterwards for the outcome.
+    pub fn wait(self) {
+        let mut done = lock(&self.state.done);
+        while !*done {
+            done = self
+                .state
+                .cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Outcome of a single-flight [`ResultStore::lookup`].
+#[derive(Debug)]
+pub enum Flight<'a> {
+    /// The store had the result (memory or disk). Boxed: the other
+    /// variants are small handles, and `Flight` values sit in per-key
+    /// arbitration vectors.
+    Hit(Box<SimResult>),
+    /// This caller is the leader: simulate, [`ResultStore::put`], then
+    /// drop the guard.
+    Lead(FlightGuard<'a>),
+    /// Another caller is simulating this key right now; `wait`, then
+    /// `lookup` again.
+    Pending(FlightWaiter),
+}
+
+/// Locks a store-internal mutex, recovering from poisoning: the guarded
+/// state is only cache bookkeeping, so a panic in one worker thread
+/// must not cascade `unwrap` panics through every other thread.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// In-memory LRU over decoded results: `HashMap` for lookup plus a
@@ -174,10 +286,12 @@ impl Lru {
 pub struct ResultStore {
     dir: Option<PathBuf>,
     lru: Mutex<Lru>,
+    inflight: Mutex<HashMap<SimKey, Arc<FlightState>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     simulated_uops: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl fmt::Debug for ResultStore {
@@ -216,10 +330,12 @@ impl ResultStore {
         Self {
             dir: None,
             lru: Mutex::new(Lru::new(DEFAULT_LRU_CAPACITY)),
+            inflight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             simulated_uops: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -246,7 +362,23 @@ impl ResultStore {
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             simulated_uops: self.simulated_uops.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
+    }
+
+    /// Misses recorded by the *calling thread* (against any store),
+    /// monotone. Snapshot before and after serving a request to tell
+    /// whether that request performed a simulation — accurate under
+    /// concurrency, where the global `misses` counter mixes every
+    /// connection's traffic.
+    #[must_use]
+    pub fn thread_misses() -> u64 {
+        THREAD_MISSES.with(Cell::get)
+    }
+
+    fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        THREAD_MISSES.with(|c| c.set(c.get() + 1));
     }
 
     /// Records that `uops` dynamic uops were simulated to fill misses
@@ -262,6 +394,28 @@ impl ResultStore {
             .map(|d| d.join(&hex[..2]).join(format!("{hex}.sim")))
     }
 
+    /// Counter-free lookup: LRU first, then disk (promoting a disk hit
+    /// into the LRU).
+    fn probe(&self, key: SimKey) -> Result<Option<SimResult>, StoreError> {
+        if let Some(hit) = lock(&self.lru).get(key) {
+            return Ok(Some(hit));
+        }
+        let Some(path) = self.entry_path(key) else {
+            return Ok(None);
+        };
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io_at(&path)(e)),
+        };
+        let result = decode_sim_result(&bytes).map_err(|source| StoreError::Corrupt {
+            path: path.clone(),
+            source,
+        })?;
+        lock(&self.lru).insert(key, result.clone());
+        Ok(Some(result))
+    }
+
     /// Looks `key` up: LRU first, then disk.
     ///
     /// # Errors
@@ -271,32 +425,71 @@ impl ResultStore {
     /// surfaced to the operator instead of papered over by re-simulation.
     /// [`StoreError::Io`] on filesystem failures other than not-found.
     pub fn get(&self, key: SimKey) -> Result<Option<SimResult>, StoreError> {
-        if let Some(hit) = self.lru.lock().expect("store lock").get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Some(hit));
-        }
-        let Some(path) = self.entry_path(key) else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return Ok(None);
-        };
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                return Ok(None);
+        match self.probe(key)? {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(hit))
             }
-            Err(e) => return Err(StoreError::io_at(&path)(e)),
-        };
-        let result = decode_sim_result(&bytes).map_err(|source| StoreError::Corrupt {
-            path: path.clone(),
-            source,
-        })?;
-        self.lru
-            .lock()
-            .expect("store lock")
-            .insert(key, result.clone());
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        Ok(Some(result))
+            None => {
+                self.count_miss();
+                Ok(None)
+            }
+        }
+    }
+
+    /// Single-flight lookup: like [`get`](Self::get), but a miss
+    /// additionally arbitrates *who simulates*. Exactly one concurrent
+    /// caller per key receives [`Flight::Lead`] (and must simulate,
+    /// [`put`](Self::put), then drop the guard); everyone else receives
+    /// [`Flight::Pending`] and waits for the leader. A leader that
+    /// errors or panics retires the flight on guard drop, so a waiter's
+    /// retry claims leadership instead of deadlocking.
+    ///
+    /// Counter semantics: a `Lead` counts one miss (it becomes exactly
+    /// one engine invocation), a `Hit` one hit, a `Pending` one
+    /// `coalesced` wait (the eventual re-lookup then counts its own
+    /// hit) — so N identical concurrent cold queries report 1 miss and
+    /// N−1 hits/waits.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`get`](Self::get).
+    pub fn lookup(&self, key: SimKey) -> Result<Flight<'_>, StoreError> {
+        if let Some(hit) = self.probe(key)? {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Flight::Hit(Box::new(hit)));
+        }
+        let mut inflight = lock(&self.inflight);
+        if let Some(state) = inflight.get(&key) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Ok(Flight::Pending(FlightWaiter {
+                state: Arc::clone(state),
+            }));
+        }
+        // Re-probe under the in-flight lock: an in-process leader
+        // publishes into the LRU (in `put`) *before* its guard takes
+        // this lock to retire the entry, so any publish that beat us
+        // here is visible and we must not claim leadership for a
+        // filled key. Memory only — a disk read under this global lock
+        // would serialize every cold lookup; the one race it would
+        // close (a concurrent *cross-process* publish since the first
+        // probe) merely costs one deterministic re-simulation.
+        if let Some(hit) = lock(&self.lru).get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Flight::Hit(Box::new(hit)));
+        }
+        let state = Arc::new(FlightState {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        inflight.insert(key, Arc::clone(&state));
+        drop(inflight);
+        self.count_miss();
+        Ok(Flight::Lead(FlightGuard {
+            store: self,
+            key,
+            state,
+        }))
     }
 
     /// Inserts `result` under `key` (memory + disk when persistent).
@@ -309,10 +502,7 @@ impl ResultStore {
     ///
     /// [`StoreError::Io`] on filesystem failures.
     pub fn put(&self, key: SimKey, result: &SimResult) -> Result<(), StoreError> {
-        self.lru
-            .lock()
-            .expect("store lock")
-            .insert(key, result.clone());
+        lock(&self.lru).insert(key, result.clone());
         self.stores.fetch_add(1, Ordering::Relaxed);
         let Some(path) = self.entry_path(key) else {
             return Ok(());
@@ -487,6 +677,113 @@ mod tests {
             "queue grew to {} entries on a hit-only workload",
             lru.recency.len()
         );
+    }
+
+    #[test]
+    fn poisoned_lru_lock_recovers_instead_of_cascading() {
+        let (key, result) = run_one();
+        let store = ResultStore::ephemeral();
+        store.put(key, &result).unwrap();
+        // Poison the inner mutex: panic while holding the guard (the
+        // same poisoning a worker-thread panic mid-operation causes).
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = store.lru.lock().unwrap();
+            panic!("worker died mid-operation");
+        }));
+        assert!(poisoned.is_err());
+        assert!(store.lru.lock().is_err(), "lock really is poisoned");
+        // Every path over the lock must keep working: the Lru holds
+        // only cache state, so it is recovered, not propagated.
+        assert_eq!(store.get(key).unwrap(), Some(result.clone()));
+        store.put(key, &result).unwrap();
+        assert!(matches!(store.lookup(key).unwrap(), Flight::Hit(_)));
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_identical_queries() {
+        let (key, result) = run_one();
+        let store = ResultStore::ephemeral();
+        let workers = 8;
+        let barrier = std::sync::Barrier::new(workers);
+        let leads = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    barrier.wait();
+                    loop {
+                        match store.lookup(key).unwrap() {
+                            Flight::Hit(r) => {
+                                assert_eq!(*r, result);
+                                break;
+                            }
+                            Flight::Lead(guard) => {
+                                leads.fetch_add(1, Ordering::Relaxed);
+                                // Hold the flight open long enough that
+                                // every other thread must coalesce.
+                                std::thread::sleep(std::time::Duration::from_millis(100));
+                                store.put(key, &result).unwrap();
+                                drop(guard);
+                                break;
+                            }
+                            Flight::Pending(waiter) => waiter.wait(),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leads.load(Ordering::Relaxed), 1, "exactly one leader");
+        let s = store.stats();
+        assert_eq!(s.misses, 1, "one engine invocation for 8 queries");
+        assert_eq!(s.hits, 7, "everyone else reuses the published result");
+        assert_eq!(s.coalesced, 7, "everyone else waited on the flight");
+    }
+
+    #[test]
+    fn abandoned_flight_hands_leadership_to_a_waiter() {
+        let (key, result) = run_one();
+        let store = ResultStore::ephemeral();
+        let Flight::Lead(first) = store.lookup(key).unwrap() else {
+            panic!("cold lookup must lead");
+        };
+        std::thread::scope(|s| {
+            let worker = s.spawn(|| loop {
+                match store.lookup(key).unwrap() {
+                    Flight::Hit(r) => break *r,
+                    Flight::Lead(guard) => {
+                        store.put(key, &result).unwrap();
+                        drop(guard);
+                    }
+                    Flight::Pending(waiter) => waiter.wait(),
+                }
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            // Abandon without publishing — an erroring leader. The
+            // waiter must wake, claim leadership and finish the job.
+            drop(first);
+            assert_eq!(worker.join().unwrap(), result);
+        });
+        assert_eq!(store.stats().misses, 2, "both leadership claims count");
+        assert_eq!(store.get(key).unwrap(), Some(result));
+    }
+
+    #[test]
+    fn thread_misses_track_only_the_calling_thread() {
+        let (key, _) = run_one();
+        let store = ResultStore::ephemeral();
+        let before = ResultStore::thread_misses();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(store.get(key).unwrap(), None);
+            });
+        });
+        assert_eq!(store.stats().misses, 1, "global counter sees the miss");
+        assert_eq!(
+            ResultStore::thread_misses(),
+            before,
+            "another thread's miss must not leak into this thread's tally"
+        );
+        assert_eq!(store.get(key).unwrap(), None);
+        assert_eq!(ResultStore::thread_misses(), before + 1);
     }
 
     #[test]

@@ -24,17 +24,47 @@
 //! ```
 //!
 //! Every response carries `"ok"`; successes echo the experiment and a
-//! `"cached"` flag (true when the request performed zero simulations),
-//! failures carry `"error"`. Malformed lines never kill the connection.
-//! `shutdown` answers, closes the connection and stops the accept loop —
-//! the graceful path the smoke test exercises.
+//! `"cached"` flag (true when *this request* performed zero
+//! simulations), failures carry `"error"`. Malformed lines never kill
+//! the connection.
+//!
+//! ## Concurrency model
+//!
+//! The accept loop dispatches each connection to a bounded pool of
+//! worker threads (see [`ServeOptions::threads`]) which share the
+//! resident context and store, so a slow or stalled client occupies one
+//! worker, not the daemon. When
+//! [`max_connections`](ServeOptions::max_connections) connections are
+//! already in flight, excess clients are refused immediately with the
+//! typed busy error `{"ok": false, "error": "busy: …", "busy": true}`
+//! instead of queueing unboundedly. Identical concurrent cold queries
+//! are deduplicated by the store's single-flight layer — one engine
+//! invocation per key, everyone else reuses the published result.
+//!
+//! Per-connection sockets get both **read and write timeouts**
+//! (slow-loris hardening: a peer that never sends a byte, or never
+//! drains its response, is cut loose after the timeout). `shutdown`
+//! answers, stops the accept loop, drains in-flight connections for at
+//! most [`drain_deadline`](ServeOptions::drain_deadline), then
+//! force-closes whatever is still stalled — a wedged *peer* cannot
+//! postpone daemon exit. (A request already inside the engine is the
+//! one thing the deadline does not cut: simulations have no
+//! cancellation point, so exit waits for them and their results are
+//! published to the store.) Per-connection outcomes are reported on an
+//! internal stats channel (never silently dropped), tallied into
+//! [`ServeSnapshot`] counters surfaced by the `stats` request, and
+//! logged to stderr.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::time::Duration;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use lowvcc_bench::experiments::{point, point_json, stalls, sweep, table1};
 use lowvcc_bench::{json, ExperimentContext, ExperimentError, ResultStore};
@@ -95,9 +125,159 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
+/// Tuning knobs for the concurrent serve loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker threads handling connections (the `--threads` flag).
+    /// Clamped up to 1. Workers mostly wait on sockets — a simulating
+    /// request additionally fans out over the context's `--jobs`
+    /// parallelism — so this bounds *concurrent connections served*,
+    /// not CPU use.
+    pub threads: usize,
+    /// Connections in flight (accepted, queued or being served) before
+    /// the accept loop refuses new clients with the typed `busy` error
+    /// (the `--max-connections` flag). Clamped up to 1.
+    pub max_connections: usize,
+    /// Per-connection socket read timeout: an idle peer is disconnected
+    /// after this long without sending a full line.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout: a peer that stops draining
+    /// its response is disconnected (slow-loris hardening).
+    pub write_timeout: Duration,
+    /// After a `shutdown` request, how long in-flight connections get to
+    /// finish before being force-closed.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get().max(4)),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ServeOptions {
+    fn clamped(self) -> Self {
+        Self {
+            threads: self.threads.max(1),
+            max_connections: self.max_connections.max(1),
+            ..self
+        }
+    }
+}
+
+/// Point-in-time copy of the serve-loop counters (the daemon-level
+/// companion to the store's `StoreStats`). Every dispatched connection
+/// ends in exactly one bucket, so `accepted` always equals `completed +
+/// connection_errors + timeouts + worker_panics + force_closed +
+/// drain_refused` once the daemon has exited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSnapshot {
+    /// Connections accepted and dispatched to a worker.
+    pub accepted: u64,
+    /// Connections served to completion (EOF or clean close).
+    pub completed: u64,
+    /// Connections refused with the `busy` error at the accept gate
+    /// (never dispatched, so not part of `accepted`).
+    pub refused_busy: u64,
+    /// Connections ended by an I/O error (reported, not dropped).
+    pub connection_errors: u64,
+    /// Connections cut loose by a read/write timeout.
+    pub timeouts: u64,
+    /// Connections whose handler panicked (the worker survives).
+    pub worker_panics: u64,
+    /// Connections cut mid-session by the shutdown drain deadline's
+    /// force-close.
+    pub force_closed: u64,
+    /// Connections dequeued after shutdown began: answered with a
+    /// shutting-down error instead of a full session.
+    pub drain_refused: u64,
+}
+
+#[derive(Debug, Default)]
+struct ServeCounters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    refused_busy: AtomicU64,
+    connection_errors: AtomicU64,
+    timeouts: AtomicU64,
+    worker_panics: AtomicU64,
+    force_closed: AtomicU64,
+    drain_refused: AtomicU64,
+}
+
+impl ServeCounters {
+    fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            refused_busy: self.refused_busy.load(Ordering::Relaxed),
+            connection_errors: self.connection_errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            force_closed: self.force_closed.load(Ordering::Relaxed),
+            drain_refused: self.drain_refused.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How one connection ended — what workers put on the stats channel.
+/// One terminal event per dispatched connection, so the counters
+/// reconcile against `accepted`.
+#[derive(Debug)]
+enum ConnEvent {
+    Done,
+    TimedOut(u64),
+    Error {
+        conn: u64,
+        what: String,
+    },
+    Panicked {
+        conn: u64,
+    },
+    /// Accepted before shutdown, dequeued after: answered with a
+    /// shutting-down error instead of a full session.
+    DrainRefused,
+    /// Cut mid-session by the drain deadline's force-close.
+    ForceClosed(u64),
+}
+
+/// Shared serve-loop state, borrowed by every worker for the duration of
+/// one `serve_with` call.
+struct ServeShared {
+    opts: ServeOptions,
+    /// Flipped by the worker that handles a `shutdown` request; the
+    /// accept loop polls it.
+    shutdown: AtomicBool,
+    /// Connections accepted but not yet finished (queued + active) —
+    /// the backpressure gate compares this against `max_connections`.
+    active: AtomicUsize,
+    /// Clones of every live connection's stream, so the drain phase can
+    /// force-shutdown stalled peers at the deadline.
+    registry: Mutex<HashMap<u64, TcpStream>>,
+    /// Ids cut by the drain deadline's force-close. A cut socket can
+    /// surface to its worker as a plain EOF, so the worker consults
+    /// this set to classify the end as `ForceClosed`, not `Done`.
+    cut: Mutex<HashSet<u64>>,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Accept-loop poll interval: bounds both shutdown latency and the
+/// stats-channel drain cadence.
+const POLL: Duration = Duration::from_millis(5);
+
 /// The resident daemon state: context (with its store) plus bookkeeping.
 pub struct Daemon {
     ctx: ExperimentContext,
+    counters: ServeCounters,
 }
 
 impl Daemon {
@@ -111,13 +291,23 @@ impl Daemon {
             let store = std::sync::Arc::new(ResultStore::ephemeral());
             ctx.with_cache(store)
         };
-        Self { ctx }
+        Self {
+            ctx,
+            counters: ServeCounters::default(),
+        }
     }
 
     /// The wrapped context.
     #[must_use]
     pub fn context(&self) -> &ExperimentContext {
         &self.ctx
+    }
+
+    /// Serve-loop counters so far (connection outcomes, refusals,
+    /// force-closes). Also surfaced by the `stats` request.
+    #[must_use]
+    pub fn serve_counters(&self) -> ServeSnapshot {
+        self.counters.snapshot()
     }
 
     fn store(&self) -> &ResultStore {
@@ -172,10 +362,13 @@ impl Daemon {
     }
 
     fn respond(&self, req: Request) -> Result<(String, bool), ExperimentError> {
-        // "Did this request simulate?" == did the store's miss counter
-        // move while we served it.
-        let misses_before = self.store().stats().misses;
-        let cached = |store: &ResultStore| store.stats().misses == misses_before;
+        // "Did this request simulate?" == did the *calling thread's*
+        // miss tally move while we served it. The thread-local (not the
+        // store-global counter) keeps the flag accurate while other
+        // connections miss concurrently; a request that merely waited
+        // on another request's single-flight simulation reports cached.
+        let misses_before = ResultStore::thread_misses();
+        let cached = || ResultStore::thread_misses() == misses_before;
         match req {
             Request::Ping => Ok((
                 json::object(&[("ok", json::boolean(true)), ("pong", json::boolean(true))]),
@@ -191,6 +384,7 @@ impl Daemon {
             Request::Stats => {
                 let s = self.store().stats();
                 let disk = self.store().disk_entries()?;
+                let c = self.counters.snapshot();
                 Ok((
                     json::object(&[
                         ("ok", json::boolean(true)),
@@ -199,9 +393,18 @@ impl Daemon {
                         ("hits", s.hits.to_string()),
                         ("misses", s.misses.to_string()),
                         ("stores", s.stores.to_string()),
+                        ("coalesced", s.coalesced.to_string()),
                         ("simulated_uops", s.simulated_uops.to_string()),
                         ("disk_entries", disk.to_string()),
                         ("persistent", json::boolean(self.store().dir().is_some())),
+                        ("connections_accepted", c.accepted.to_string()),
+                        ("connections_completed", c.completed.to_string()),
+                        ("connections_refused", c.refused_busy.to_string()),
+                        ("connection_errors", c.connection_errors.to_string()),
+                        ("connection_timeouts", c.timeouts.to_string()),
+                        ("worker_panics", c.worker_panics.to_string()),
+                        ("force_closed", c.force_closed.to_string()),
+                        ("drain_refused", c.drain_refused.to_string()),
                     ]),
                     false,
                 ))
@@ -212,7 +415,7 @@ impl Daemon {
                     json::object(&[
                         ("ok", json::boolean(true)),
                         ("experiment", json::string("sweep")),
-                        ("cached", json::boolean(cached(self.store()))),
+                        ("cached", json::boolean(cached())),
                         ("point", point_json(&p)),
                     ]),
                     false,
@@ -225,7 +428,7 @@ impl Daemon {
                     json::object(&[
                         ("ok", json::boolean(true)),
                         ("experiment", json::string("sweep")),
-                        ("cached", json::boolean(cached(self.store()))),
+                        ("cached", json::boolean(cached())),
                         ("points", json::array(&rendered)),
                     ]),
                     false,
@@ -252,7 +455,7 @@ impl Daemon {
                         ("ok", json::boolean(true)),
                         ("experiment", json::string("table1")),
                         ("vcc_mv", vcc.millivolts().to_string()),
-                        ("cached", json::boolean(cached(self.store()))),
+                        ("cached", json::boolean(cached())),
                         ("rows", json::array(&rendered)),
                     ]),
                     false,
@@ -265,7 +468,7 @@ impl Daemon {
                         ("ok", json::boolean(true)),
                         ("experiment", json::string("stalls")),
                         ("vcc_mv", vcc.millivolts().to_string()),
-                        ("cached", json::boolean(cached(self.store()))),
+                        ("cached", json::boolean(cached())),
                         ("total_degradation", json::number(r.total_degradation)),
                         ("rf_share", json::number(r.rf_share)),
                         ("iq_share", json::number(r.iq_share)),
@@ -279,54 +482,316 @@ impl Daemon {
         }
     }
 
-    /// Runs the accept loop until a `shutdown` request (or a listener
-    /// error). Connections are handled sequentially and fully — the
-    /// store keeps popular answers warm, so responses are fast; a
-    /// request that does simulate still fans out over the context's
-    /// worker threads.
+    /// Runs the concurrent accept loop with [`ServeOptions::default`]
+    /// until a `shutdown` request (or a listener error). See
+    /// [`serve_with`](Self::serve_with).
     ///
     /// # Errors
     ///
     /// Propagates accept-loop I/O failures (per-connection errors only
-    /// end that connection).
-    pub fn serve(&self, listener: &TcpListener) -> std::io::Result<()> {
-        for stream in listener.incoming() {
-            let stream = stream?;
-            if self.serve_connection(stream) {
-                return Ok(());
-            }
-        }
-        Ok(())
+    /// end that connection, and are counted + logged).
+    pub fn serve(&self, listener: &TcpListener) -> io::Result<()> {
+        self.serve_with(listener, ServeOptions::default())
     }
 
-    /// Serves one connection to EOF; returns true on a shutdown request.
-    fn serve_connection(&self, stream: TcpStream) -> bool {
-        // An idle or stalled client must not wedge the daemon forever.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-        let mut writer = match stream.try_clone() {
-            Ok(w) => w,
-            Err(_) => return false,
+    /// Runs the accept loop until a `shutdown` request (or a listener
+    /// error): connections are dispatched over a channel to a bounded
+    /// pool of `opts.threads` workers sharing this daemon's context and
+    /// store; excess clients beyond `opts.max_connections` are refused
+    /// with the typed `busy` error. On shutdown the loop stops
+    /// accepting, drains in-flight connections for
+    /// `opts.drain_deadline`, force-closes socket-stalled stragglers,
+    /// and joins every worker before returning. The deadline bounds
+    /// waiting on *peers*; a connection already simulating runs to
+    /// completion (the engine has no cancellation point) and its
+    /// results are published before exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures. Per-connection failures are
+    /// reported on the internal stats channel (see
+    /// [`serve_counters`](Self::serve_counters)), never silently
+    /// dropped, and never kill the daemon.
+    pub fn serve_with(&self, listener: &TcpListener, opts: ServeOptions) -> io::Result<()> {
+        let opts = opts.clamped();
+        listener.set_nonblocking(true)?;
+        let shared = ServeShared {
+            opts,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            registry: Mutex::new(HashMap::new()),
+            cut: Mutex::new(HashSet::new()),
         };
-        let reader = BufReader::new(stream);
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
+        let (conn_tx, conn_rx) = mpsc::channel::<(u64, TcpStream)>();
+        let conn_rx = Mutex::new(conn_rx);
+        let (event_tx, event_rx) = mpsc::channel::<ConnEvent>();
+
+        let result = std::thread::scope(|s| -> io::Result<()> {
+            let shared = &shared;
+            let conn_rx = &conn_rx;
+            for _ in 0..opts.threads {
+                let event_tx = event_tx.clone();
+                s.spawn(move || self.worker(shared, conn_rx, &event_tx));
+            }
+
+            let mut next_id: u64 = 0;
+            let accept_result = loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break Ok(());
+                }
+                for ev in event_rx.try_iter() {
+                    self.note_event(&ev);
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if shared.active.load(Ordering::SeqCst) >= opts.max_connections {
+                            self.refuse_busy(&stream, &opts);
+                            continue;
+                        }
+                        next_id += 1;
+                        // Prepare before dispatch: the socket must not
+                        // inherit the listener's nonblocking mode, and
+                        // the registry clone is mandatory — a
+                        // connection the drain deadline cannot cut must
+                        // not be served at all. A failure still counts
+                        // one accepted + one error, so the snapshot
+                        // tallies keep reconciling.
+                        let prepared = stream
+                            .set_nonblocking(false)
+                            .and_then(|()| stream.try_clone());
+                        let clone = match prepared {
+                            Ok(clone) => clone,
+                            Err(e) => {
+                                self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                                self.note_event(&ConnEvent::Error {
+                                    conn: next_id,
+                                    what: format!("cannot prepare accepted socket: {e}"),
+                                });
+                                continue;
+                            }
+                        };
+                        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                        shared.active.fetch_add(1, Ordering::SeqCst);
+                        lock(&shared.registry).insert(next_id, clone);
+                        if conn_tx.send((next_id, stream)).is_err() {
+                            // Every worker is gone — nothing left to
+                            // serve with; drain and report.
+                            shared.active.fetch_sub(1, Ordering::SeqCst);
+                            lock(&shared.registry).remove(&next_id);
+                            self.note_event(&ConnEvent::Error {
+                                conn: next_id,
+                                what: "no worker available to serve the connection".to_string(),
+                            });
+                            break Err(io::Error::other("all serve workers exited"));
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => break Err(e),
+                }
+            };
+
+            // Drain: stop feeding workers (channel close ends their recv
+            // loops), give in-flight connections the deadline, then cut
+            // stalled peers loose so a wedged client cannot postpone
+            // exit. The scope join below waits for the workers. Raising
+            // the flag here (also on the listener-error path) makes the
+            // drain uniform: queued connections are refused, cut ones
+            // report ForceClosed rather than spurious errors.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            drop(conn_tx);
+            let deadline = Instant::now() + opts.drain_deadline;
+            while shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+                for ev in event_rx.try_iter() {
+                    self.note_event(&ev);
+                }
+                std::thread::sleep(POLL);
+            }
+            if shared.active.load(Ordering::SeqCst) > 0 {
+                // Counted per-connection via ForceClosed events (the
+                // `cut` set reclassifies the worker's terminal event),
+                // so each connection lands in exactly one bucket.
+                let mut cut = lock(&shared.cut);
+                for (id, conn) in lock(&shared.registry).iter() {
+                    let _ = conn.shutdown(Shutdown::Both);
+                    cut.insert(*id);
+                }
+            }
+            accept_result
+        });
+
+        let _ = listener.set_nonblocking(false);
+        drop(event_tx);
+        for ev in event_rx.try_iter() {
+            self.note_event(&ev);
+        }
+        result
+    }
+
+    /// One pool worker: dequeue connections until the channel closes.
+    /// A panicking connection handler is caught and reported — the
+    /// worker (and the daemon) survive it.
+    fn worker(
+        &self,
+        shared: &ServeShared,
+        conn_rx: &Mutex<mpsc::Receiver<(u64, TcpStream)>>,
+        events: &mpsc::Sender<ConnEvent>,
+    ) {
+        loop {
+            let next = lock(conn_rx).recv();
+            let Ok((id, stream)) = next else { break };
+            let mut event = if shared.shutdown.load(Ordering::SeqCst) {
+                Self::refuse_line(&stream, &shared.opts, "daemon is shutting down", false);
+                ConnEvent::DrainRefused
+            } else {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    self.serve_connection(id, &stream, shared)
+                })) {
+                    Ok(ev) => ev,
+                    Err(_) => ConnEvent::Panicked { conn: id },
+                }
+            };
+            // A drain-deadline cut can look like a plain EOF to the
+            // handler; the cut set gives the honest classification.
+            if lock(&shared.cut).remove(&id) && !matches!(event, ConnEvent::Panicked { .. }) {
+                event = ConnEvent::ForceClosed(id);
+            }
+            lock(&shared.registry).remove(&id);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            let _ = events.send(event);
+        }
+    }
+
+    /// Serves connection `id` to EOF (or timeout/error); returns its
+    /// terminal event.
+    fn serve_connection(&self, id: u64, stream: &TcpStream, shared: &ServeShared) -> ConnEvent {
+        // Slow-loris hardening: a peer that never sends a byte, or
+        // never drains its response, must not pin this worker past the
+        // timeouts. A failure to arm them is itself an error — serving
+        // an untimed socket is exactly the bug this guards against.
+        if let Err(e) = stream
+            .set_read_timeout(Some(shared.opts.read_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(shared.opts.write_timeout)))
+        {
+            return ConnEvent::Error {
+                conn: id,
+                what: format!("cannot arm socket timeouts: {e}"),
+            };
+        }
+        let mut writer = stream;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => return ConnEvent::Done,
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return ConnEvent::TimedOut(id);
+                }
+                Err(e) => {
+                    // A drain-deadline force-shutdown can surface here
+                    // as a read error; the worker's cut-set check
+                    // reclassifies exactly those, so a genuine peer
+                    // fault during drain still reports as an error.
+                    return ConnEvent::Error {
+                        conn: id,
+                        what: format!("read: {e}"),
+                    };
+                }
+            }
             if line.trim().is_empty() {
                 continue;
             }
-            let (response, stop) = self.handle_line(&line);
-            if writer
+            let (response, stop) = self.handle_line(line.trim_end());
+            if let Err(e) = writer
                 .write_all(response.as_bytes())
                 .and_then(|()| writer.write_all(b"\n"))
                 .and_then(|()| writer.flush())
-                .is_err()
             {
-                break;
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) {
+                    return ConnEvent::TimedOut(id);
+                }
+                return ConnEvent::Error {
+                    conn: id,
+                    what: format!("write: {e}"),
+                };
             }
             if stop {
-                return true;
+                shared.shutdown.store(true, Ordering::SeqCst);
+                return ConnEvent::Done;
             }
         }
-        false
+    }
+
+    /// Refuses a connection at the accept gate with the typed `busy`
+    /// error: `{"ok": false, "error": "busy: …", "busy": true}`.
+    fn refuse_busy(&self, stream: &TcpStream, opts: &ServeOptions) {
+        self.counters.refused_busy.fetch_add(1, Ordering::Relaxed);
+        Self::refuse_line(
+            stream,
+            opts,
+            &format!(
+                "busy: {} connections already in flight, retry later",
+                opts.max_connections
+            ),
+            true,
+        );
+    }
+
+    fn refuse_line(stream: &TcpStream, opts: &ServeOptions, error: &str, busy: bool) {
+        let mut fields = vec![("ok", json::boolean(false)), ("error", json::string(error))];
+        if busy {
+            fields.push(("busy", json::boolean(true)));
+        }
+        let line = json::object(&fields);
+        // Best-effort: the refusal itself must not be able to wedge the
+        // caller on a slow client.
+        let _ = stream.set_write_timeout(Some(opts.write_timeout.min(Duration::from_secs(1))));
+        let mut w = stream;
+        let _ = w
+            .write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .and_then(|()| w.flush());
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    /// Tallies and logs one connection outcome from the stats channel.
+    fn note_event(&self, ev: &ConnEvent) {
+        match ev {
+            ConnEvent::Done => {
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            ConnEvent::DrainRefused => {
+                self.counters.drain_refused.fetch_add(1, Ordering::Relaxed);
+            }
+            ConnEvent::ForceClosed(conn) => {
+                self.counters.force_closed.fetch_add(1, Ordering::Relaxed);
+                eprintln!("lowvcc-serve: connection {conn}: force-closed at the drain deadline");
+            }
+            ConnEvent::TimedOut(conn) => {
+                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                eprintln!("lowvcc-serve: connection {conn}: timed out waiting on the peer");
+            }
+            ConnEvent::Error { conn, what } => {
+                self.counters
+                    .connection_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!("lowvcc-serve: connection {conn}: {what}");
+            }
+            ConnEvent::Panicked { conn } => {
+                self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                eprintln!("lowvcc-serve: connection {conn}: handler panicked (worker recovered)");
+            }
+        }
     }
 }
 
@@ -411,10 +876,24 @@ mod tests {
         let v = json::parse(&resp).unwrap();
         assert!(v.get("misses").unwrap().as_u64().unwrap() > 0);
         assert_eq!(v.get("persistent").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("connections_accepted").unwrap().as_u64(), Some(0));
 
         let (resp, stop) = d.handle_line(r#"{"experiment":"shutdown"}"#);
         assert!(stop);
         let v = json::parse(&resp).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn options_clamp_degenerate_values() {
+        let o = ServeOptions {
+            threads: 0,
+            max_connections: 0,
+            ..ServeOptions::default()
+        }
+        .clamped();
+        assert_eq!(o.threads, 1);
+        assert_eq!(o.max_connections, 1);
+        assert!(ServeOptions::default().threads >= 4);
     }
 }

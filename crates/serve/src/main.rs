@@ -2,18 +2,24 @@
 //!
 //! ```text
 //! lowvcc-serve [--suite quick|standard|paper|NxLEN] [--cache DIR]
-//!              [--jobs N] [--addr HOST:PORT] [--warm]
+//!              [--jobs N] [--threads N] [--max-connections N]
+//!              [--addr HOST:PORT] [--warm]
 //! ```
 //!
-//! Defaults: quick suite, in-memory store, all hardware threads,
+//! Defaults: quick suite, in-memory store, all hardware threads for
+//! simulation (`--jobs`), `max(4, hardware threads)` connection workers
+//! (`--threads`), 64 in-flight connections (`--max-connections`),
 //! `127.0.0.1:0` (ephemeral port). The bound address is announced on
 //! stdout as `lowvcc-serve listening on HOST:PORT` so harnesses can
-//! scrape the port. `--warm` runs the full sweep grid plus Table 1 and
-//! the stall study at their default voltages once before accepting, so
-//! sweep queries (and default-voltage table1/stalls queries) are cache
-//! hits from the first request; non-default table1/stalls voltages
-//! simulate once on demand. `--cache DIR` shares the store with
-//! `experiments --cache DIR` — either can warm it for the other.
+//! scrape the port. Excess clients beyond the connection cap receive
+//! the typed `{"ok": false, "error": "busy: …", "busy": true}` refusal
+//! instead of queueing unboundedly. `--warm` runs the full sweep grid
+//! plus Table 1 and the stall study at their default voltages once
+//! before accepting, so sweep queries (and default-voltage
+//! table1/stalls queries) are cache hits from the first request;
+//! non-default table1/stalls voltages simulate once on demand.
+//! `--cache DIR` shares the store with `experiments --cache DIR` —
+//! either can warm it for the other.
 
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -22,15 +28,16 @@ use std::sync::Arc;
 
 use lowvcc_bench::{ResultStore, SuiteChoice};
 use lowvcc_core::Parallelism;
-use lowvcc_serve::Daemon;
+use lowvcc_serve::{Daemon, ServeOptions};
 
 const USAGE: &str = "usage: lowvcc-serve [--suite quick|standard|paper|NxLEN] [--cache DIR] \
-                     [--jobs N] [--addr HOST:PORT] [--warm]";
+                     [--jobs N] [--threads N] [--max-connections N] [--addr HOST:PORT] [--warm]";
 
 struct Options {
     suite: String,
     cache: Option<PathBuf>,
     jobs: usize,
+    serve: ServeOptions,
     addr: String,
     warm: bool,
     help: bool,
@@ -41,6 +48,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
         suite: "quick".to_string(),
         cache: None,
         jobs: Parallelism::available().count(),
+        serve: ServeOptions::default(),
         addr: "127.0.0.1:0".to_string(),
         warm: false,
         help: false,
@@ -64,6 +72,16 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
                 Some(Ok(n)) if n > 0 => o.jobs = n,
                 Some(_) => return Err("--jobs needs a positive integer".into()),
                 None => return Err("--jobs needs a value".into()),
+            },
+            "--threads" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => o.serve.threads = n,
+                Some(_) => return Err("--threads needs a positive integer".into()),
+                None => return Err("--threads needs a value".into()),
+            },
+            "--max-connections" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => o.serve.max_connections = n,
+                Some(_) => return Err("--max-connections needs a positive integer".into()),
+                None => return Err("--max-connections needs a value".into()),
             },
             "--warm" => o.warm = true,
             "--help" | "-h" => o.help = true,
@@ -101,7 +119,8 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("no local address: {e}"))?;
     println!("lowvcc-serve listening on {local}");
     eprintln!(
-        "suite {} ({} uops), store {}, {} jobs; send {{\"experiment\":\"shutdown\"}} to stop",
+        "suite {} ({} uops), store {}, {} jobs, {} workers (max {} connections); \
+         send {{\"experiment\":\"shutdown\"}} to stop",
         daemon.context().suite_label,
         daemon.context().total_uops(),
         daemon
@@ -111,8 +130,12 @@ fn run() -> Result<(), String> {
             .and_then(|s| s.dir())
             .map_or_else(|| "in-memory".to_string(), |d| d.display().to_string()),
         opts.jobs,
+        opts.serve.threads,
+        opts.serve.max_connections,
     );
-    daemon.serve(&listener).map_err(|e| e.to_string())?;
+    daemon
+        .serve_with(&listener, opts.serve)
+        .map_err(|e| e.to_string())?;
     eprintln!("shutdown requested; exiting cleanly");
     Ok(())
 }

@@ -236,6 +236,42 @@ fn warm_cached_rerun_is_simulation_free_and_bit_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Concurrent experiments sharing one *persistent* store (the
+/// `lowvcc-serve` worker-pool shape): identical cold queries racing on
+/// every key are deduplicated by the single-flight layer — one engine
+/// invocation per key — and every thread's answer is bit-identical to
+/// the sequential one.
+#[test]
+fn concurrent_shared_store_single_flights_and_stays_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("lowvcc_it_conc_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = ExperimentContext::sized(1, 2_000).expect("tiny suite builds");
+    let vcc = lowvcc_sram::Millivolts::new(575).unwrap();
+    let sequential = sweep::point(&base, vcc).expect("uncached point");
+
+    let store = Arc::new(ResultStore::open(&dir).expect("store opens"));
+    let ctx = base.with_cache(Arc::clone(&store));
+    let points: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| s.spawn(|| sweep::point(&ctx, vcc).expect("concurrent point")))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let stats = store.stats();
+    assert_eq!(
+        stats.misses, 14,
+        "4 racing cold queries, 2 mechanisms × 7 traces: one simulation per key ({stats:?})"
+    );
+    assert_eq!(store.disk_entries().expect("disk listing"), 14);
+    for p in &points {
+        assert_eq!(
+            *p, sequential,
+            "cache + concurrency must not change results"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A flipped byte in a store entry surfaces a typed corruption error —
 /// the experiment fails loudly instead of producing garbage statistics.
 #[test]
