@@ -1,0 +1,40 @@
+//! CI guard for the perf trajectory: strictly parses every given
+//! `BENCH_*.json` document and fails on a missing file, a parse error,
+//! a wrong schema tag, or a malformed entry. The `perf-trajectory` CI
+//! job runs it over both the freshly-emitted document and the committed
+//! `BENCH_paper.json`, so a trajectory that stops parsing blocks the PR.
+//!
+//! Usage: `bench_json_check FILE...`
+
+use std::process::ExitCode;
+
+use lowvcc_bench::trajectory;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_json_check FILE...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ok = false;
+            }
+            Ok(text) => match trajectory::validate(&text) {
+                Err(reason) => {
+                    eprintln!("{path}: {reason}");
+                    ok = false;
+                }
+                Ok(n) => println!("{path}: {n} entries OK"),
+            },
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use lowvcc_core::{
-    run_suite_with, sim_key, speedup, CoreConfig, Mechanism, MechanismComparison, Parallelism,
-    SimConfig, SuiteResult,
+    run_batch_groups, run_suite_with, sim_key, speedup, CoreConfig, MechanismComparison,
+    Parallelism, SimConfig, SimResult, SuiteResult,
 };
 
 use crate::error::ExperimentError;
@@ -235,8 +235,7 @@ impl ExperimentContext {
             self.suite.len(),
             "ExperimentContext.specs must stay index-aligned with .suite"
         );
-        let mut slots: Vec<Option<(String, lowvcc_core::SimResult)>> =
-            self.suite.iter().map(|_| None).collect();
+        let mut slots: Vec<Option<(String, SimResult)>> = self.suite.iter().map(|_| None).collect();
         let mut unresolved: Vec<usize> = (0..self.suite.len()).collect();
         while !unresolved.is_empty() {
             let mut leaders: Vec<(usize, FlightGuard<'_>)> = Vec::new();
@@ -278,9 +277,115 @@ impl ExperimentContext {
         })
     }
 
-    /// Baseline-vs-IRAW comparison at `vcc` over the suite, through the
-    /// cache. The cache-free equivalent of
-    /// [`lowvcc_core::compare_mechanisms_with`].
+    /// Runs every configuration over the whole suite, batched per trace:
+    /// each trace is decoded once and all of `cfgs` replay it back to
+    /// back through a reused engine workspace. Returns one
+    /// [`SuiteResult`] per configuration, in `cfgs` order —
+    /// byte-identical to calling [`Self::run_suite`] once per
+    /// configuration (the `batch_vs_perpoint` suite asserts it).
+    ///
+    /// With a cache, store misses are batched **per trace** instead of
+    /// per key: one round groups every missing configuration of a trace
+    /// behind a single decode, so a cold 13-point sweep decodes each
+    /// trace once rather than once per (config, trace) pair. Hits,
+    /// single-flight leadership and waiting behave exactly as in
+    /// [`Self::run_suite`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures and typed cache failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a cache is configured and `specs` has drifted out of
+    /// alignment with `suite` (both are public fields; keep them
+    /// index-aligned).
+    pub fn run_suite_batch(&self, cfgs: &[SimConfig]) -> Result<Vec<SuiteResult>, ExperimentError> {
+        let Some(store) = &self.cache else {
+            return Ok(lowvcc_core::run_suite_batch(
+                cfgs,
+                &self.suite,
+                self.parallelism,
+            )?);
+        };
+        assert_eq!(
+            self.specs.len(),
+            self.suite.len(),
+            "ExperimentContext.specs must stay index-aligned with .suite"
+        );
+        let mut slots: Vec<Vec<Option<(String, SimResult)>>> = cfgs
+            .iter()
+            .map(|_| self.suite.iter().map(|_| None).collect())
+            .collect();
+        // Trace-major order, so one round's leaders arrive grouped by
+        // trace and each group below shares a single decode.
+        let mut unresolved: Vec<(usize, usize)> = (0..self.suite.len())
+            .flat_map(|t| (0..cfgs.len()).map(move |c| (t, c)))
+            .collect();
+        while !unresolved.is_empty() {
+            let mut leaders: Vec<(usize, usize, FlightGuard<'_>)> = Vec::new();
+            let mut pending: Vec<(usize, usize, FlightWaiter)> = Vec::new();
+            for &(t, c) in &unresolved {
+                match store.lookup(sim_key(&cfgs[c], &self.specs[t]))? {
+                    Flight::Hit(result) => {
+                        slots[c][t] = Some((self.suite[t].name.clone(), *result));
+                    }
+                    Flight::Lead(guard) => leaders.push((t, c, guard)),
+                    Flight::Pending(waiter) => pending.push((t, c, waiter)),
+                }
+            }
+            if !leaders.is_empty() {
+                // Group this round's misses per *trace* (leaders are
+                // trace-major, so consecutive runs share an index):
+                // `run_batch_groups` then decodes each trace once for
+                // all of its missing configurations.
+                let mut groups: Vec<(usize, Vec<SimConfig>)> = Vec::new();
+                for (t, c, _) in &leaders {
+                    match groups.last_mut() {
+                        Some((ti, group)) if ti == t => group.push(cfgs[*c].clone()),
+                        _ => groups.push((*t, vec![cfgs[*c].clone()])),
+                    }
+                }
+                store.note_simulated_uops(
+                    leaders
+                        .iter()
+                        .map(|(t, _, _)| self.suite[*t].len() as u64)
+                        .sum(),
+                );
+                // On error the guards drop unpublished, waking every
+                // waiter to re-arbitrate; the error propagates here.
+                let fresh = run_batch_groups(&groups, &self.suite, self.parallelism)?;
+                let results = fresh.into_iter().flatten();
+                for ((t, c, guard), result) in leaders.into_iter().zip(results) {
+                    store.put(sim_key(&cfgs[c], &self.specs[t]), &result)?;
+                    drop(guard); // publish: retires the flight, wakes waiters
+                    slots[c][t] = Some((self.suite[t].name.clone(), result));
+                }
+            }
+            // A retired flight either published (next round hits) or was
+            // abandoned by an erroring leader (next round claims it).
+            unresolved = pending
+                .into_iter()
+                .map(|(t, c, waiter)| {
+                    waiter.wait();
+                    (t, c)
+                })
+                .collect();
+        }
+        Ok(slots
+            .into_iter()
+            .map(|per_trace| SuiteResult {
+                per_trace: per_trace
+                    .into_iter()
+                    .map(|s| s.expect("every slot filled"))
+                    .collect(),
+            })
+            .collect())
+    }
+
+    /// Baseline-vs-IRAW comparison at `vcc` over the suite, as one
+    /// two-configuration batch through the cache. The cache-aware
+    /// equivalent of [`lowvcc_core::compare_mechanisms_with`].
     ///
     /// # Errors
     ///
@@ -289,10 +394,10 @@ impl ExperimentContext {
         &self,
         vcc: Millivolts,
     ) -> Result<MechanismComparison, ExperimentError> {
-        let base_cfg = SimConfig::at_vcc(self.core, &self.timing, vcc, Mechanism::Baseline);
-        let iraw_cfg = SimConfig::at_vcc(self.core, &self.timing, vcc, Mechanism::Iraw);
-        let baseline = self.run_suite(&base_cfg)?;
-        let iraw = self.run_suite(&iraw_cfg)?;
+        let (base_cfg, iraw_cfg) = SimConfig::mechanism_pair(self.core, &self.timing, vcc);
+        let mut suites = self.run_suite_batch(&[base_cfg, iraw_cfg])?;
+        let iraw = suites.pop().expect("two configs in, two suites out");
+        let baseline = suites.pop().expect("two configs in, two suites out");
         let speedup = speedup(&iraw, &baseline);
         Ok(MechanismComparison {
             vcc,
@@ -307,6 +412,7 @@ impl ExperimentContext {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lowvcc_core::Mechanism;
     use lowvcc_sram::voltage::mv;
 
     #[test]
@@ -364,6 +470,57 @@ mod tests {
         // with the uncached sequential answer.
         assert_eq!(store.stats().misses, 7, "one simulation per key");
         assert_eq!(store.stats().stores, 7);
+        for r in &results {
+            assert_eq!(*r, sequential);
+        }
+    }
+
+    #[test]
+    fn batched_cached_suite_matches_per_config_runs() {
+        let ctx = ExperimentContext::sized(1, 3_000).unwrap();
+        let cfgs: Vec<SimConfig> = [475u32, 500]
+            .iter()
+            .flat_map(|&v| {
+                let (base, iraw) = SimConfig::mechanism_pair(ctx.core, &ctx.timing, mv(v));
+                [base, iraw]
+            })
+            .collect();
+        let per_cfg: Vec<SuiteResult> = cfgs.iter().map(|c| ctx.run_suite(c).unwrap()).collect();
+        let uncached = ctx.run_suite_batch(&cfgs).unwrap();
+        assert_eq!(per_cfg, uncached);
+
+        let store = Arc::new(ResultStore::ephemeral());
+        let ctx = ctx.with_cache(Arc::clone(&store));
+        let cold = ctx.run_suite_batch(&cfgs).unwrap();
+        assert_eq!(store.stats().misses, 28, "4 cfgs × 7 traces, all simulated");
+        let warm = ctx.run_suite_batch(&cfgs).unwrap();
+        assert_eq!(store.stats().misses, 28, "warm batch simulates nothing");
+        assert_eq!(store.stats().hits, 28);
+        assert_eq!(per_cfg, cold);
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn concurrent_batched_runs_simulate_each_key_once() {
+        let ctx = ExperimentContext::sized(1, 2_000).unwrap();
+        let (base, iraw) = SimConfig::mechanism_pair(ctx.core, &ctx.timing, mv(500));
+        let cfgs = vec![base, iraw];
+        let sequential = ctx.run_suite_batch(&cfgs).unwrap();
+        let store = Arc::new(ResultStore::ephemeral());
+        let ctx = ctx.with_cache(Arc::clone(&store));
+        let results: Vec<Vec<SuiteResult>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| ctx.run_suite_batch(&cfgs)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap().unwrap())
+                .collect()
+        });
+        // Single-flight still holds under per-trace batching: 4 identical
+        // cold batches cost one simulation per (config, trace) key.
+        assert_eq!(store.stats().misses, 14, "one simulation per key");
+        assert_eq!(store.stats().stores, 14);
         for r in &results {
             assert_eq!(*r, sequential);
         }

@@ -17,7 +17,7 @@ use crate::error::ExperimentError;
 use crate::report::TextTable;
 
 /// Re-exported for Figure 11b / Figure 12 consumers.
-pub use sweep::{point, point_json, run_sweep, SweepPoint};
+pub use sweep::{point, point_from, point_json, run_sweep, run_sweep_per_point, SweepPoint};
 
 fn save(table: &TextTable, path: &Path) -> Result<(), ExperimentError> {
     table.write_csv(path).map_err(ExperimentError::io_at(path))

@@ -3,7 +3,7 @@
 //! goes through [`ExperimentContext::run_suite`]'s result cache when one
 //! is configured, so a warm sweep performs zero simulations.
 
-use lowvcc_core::SuiteResult;
+use lowvcc_core::{speedup, MechanismComparison, SimConfig, SuiteResult};
 use lowvcc_energy::{EdpPoint, IrawOverhead};
 use lowvcc_sram::{Millivolts, PAPER_SWEEP};
 
@@ -67,8 +67,16 @@ fn suite_energy(
 ///
 /// Propagates simulation and cache failures.
 pub fn point(ctx: &ExperimentContext, vcc: Millivolts) -> Result<SweepPoint, ExperimentError> {
+    Ok(point_from(ctx, &ctx.compare_mechanisms(vcc)?))
+}
+
+/// Derives one sweep point's measurements from a completed baseline-vs-
+/// IRAW comparison — the single assembly site shared by the per-point
+/// [`point`] and the batched [`run_sweep`].
+#[must_use]
+pub fn point_from(ctx: &ExperimentContext, cmp: &MechanismComparison) -> SweepPoint {
+    let vcc = cmp.vcc;
     let iraw_overhead = IrawOverhead::silverthorne().dynamic_energy_factor();
-    let cmp = ctx.compare_mechanisms(vcc)?;
     let base_energy = suite_energy(ctx, vcc, &cmp.baseline, 1.0);
     // The IRAW hardware is present (and clocking) at every Vcc, so its
     // ~0.6% dynamic overhead applies even where the mechanism is off —
@@ -94,7 +102,7 @@ pub fn point(ctx: &ExperimentContext, vcc: Millivolts) -> Result<SweepPoint, Exp
         rsb_corrupt += r.stats.branches.rsb_potential_corruptions;
     }
 
-    Ok(SweepPoint {
+    SweepPoint {
         vcc,
         frequency_gain: cmp.frequency_gain,
         speedup: cmp.speedup.total_time,
@@ -112,15 +120,56 @@ pub fn point(ctx: &ExperimentContext, vcc: Millivolts) -> Result<SweepPoint, Exp
         rsb_corruptions: rsb_corrupt,
         baseline_instructions: cmp.baseline.total_instructions(),
         iraw_instructions: cmp.iraw.total_instructions(),
-    })
+    }
 }
 
-/// Runs the full baseline-vs-IRAW sweep over the paper's voltage grid.
+/// Runs the full baseline-vs-IRAW sweep over the paper's voltage grid in
+/// one batched pass: all 26 configurations (13 voltages × 2 mechanisms)
+/// go through [`ExperimentContext::run_suite_batch`], so every trace is
+/// decoded once for the whole grid and each worker's engine workspace is
+/// reused across all sweep points. Byte-identical to the legacy
+/// [`run_sweep_per_point`] for any worker count — the `batch_vs_perpoint`
+/// suite asserts it.
 ///
 /// # Errors
 ///
 /// Propagates simulation and cache failures.
 pub fn run_sweep(ctx: &ExperimentContext) -> Result<Vec<SweepPoint>, ExperimentError> {
+    let cfgs: Vec<SimConfig> = PAPER_SWEEP
+        .iter()
+        .flat_map(|vcc| {
+            let (base, iraw) = SimConfig::mechanism_pair(ctx.core, &ctx.timing, vcc);
+            [base, iraw]
+        })
+        .collect();
+    let mut suites = ctx.run_suite_batch(&cfgs)?.into_iter();
+    PAPER_SWEEP
+        .iter()
+        .map(|vcc| {
+            let baseline = suites.next().expect("one suite per config");
+            let iraw = suites.next().expect("one suite per config");
+            let speedup = speedup(&iraw, &baseline);
+            let cmp = MechanismComparison {
+                vcc,
+                baseline,
+                iraw,
+                frequency_gain: ctx.timing.frequency_gain(vcc),
+                speedup,
+            };
+            Ok(point_from(ctx, &cmp))
+        })
+        .collect()
+}
+
+/// The legacy per-point sweep: one [`point`] call (two suite runs) per
+/// voltage. Kept as the equivalence reference for the batched
+/// [`run_sweep`], and for callers that want per-voltage incremental
+/// progress over raw throughput.
+///
+/// # Errors
+///
+/// Propagates simulation and cache failures.
+pub fn run_sweep_per_point(ctx: &ExperimentContext) -> Result<Vec<SweepPoint>, ExperimentError> {
     PAPER_SWEEP.iter().map(|vcc| point(ctx, vcc)).collect()
 }
 

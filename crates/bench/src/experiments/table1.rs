@@ -1,6 +1,7 @@
 //! T1 — the paper's Table 1 and its measured companion.
 
 use lowvcc_baselines::{qualitative_table, rows_from_results, technique_configs, QuantRow};
+use lowvcc_core::SimConfig;
 use lowvcc_sram::Millivolts;
 
 use crate::context::ExperimentContext;
@@ -35,10 +36,12 @@ pub fn qualitative() -> TextTable {
     t
 }
 
-/// Measured rows at `vcc` over the context suite, through the result
-/// cache when one is configured — each technique's `SimConfig` keys its
-/// suite run, so a warm Table 1 performs zero simulations (and shares
-/// the baseline run with the sweep at the same voltage).
+/// Measured rows at `vcc` over the context suite, as **one batch**: all
+/// technique configurations replay each trace behind a single decode via
+/// [`ExperimentContext::run_suite_batch`]. Through the result cache each
+/// technique's `SimConfig` still keys its own suite run, so a warm
+/// Table 1 performs zero simulations (and shares the baseline run with
+/// the sweep at the same voltage).
 ///
 /// # Errors
 ///
@@ -48,21 +51,16 @@ pub fn quantitative_rows_at(
     vcc: Millivolts,
 ) -> Result<Vec<QuantRow>, ExperimentError> {
     let configs = technique_configs(ctx.core, &ctx.timing, vcc);
-    let mut suites = Vec::with_capacity(configs.len());
-    for tc in &configs {
-        suites.push(ctx.run_suite(&tc.cfg)?);
-    }
+    let cfgs: Vec<SimConfig> = configs.iter().map(|tc| tc.cfg.clone()).collect();
+    let suites = ctx.run_suite_batch(&cfgs)?;
     Ok(rows_from_results(&configs, &suites))
 }
 
-/// Measured comparison at 500 mV over the context suite.
-///
-/// # Errors
-///
-/// Propagates simulation failures.
-pub fn quantitative(ctx: &ExperimentContext) -> Result<TextTable, ExperimentError> {
-    let vcc = Millivolts::new(500).expect("500 mV on the grid");
-    let rows = quantitative_rows_at(ctx, vcc)?;
+/// Formats measured rows as the Table 1 companion — the single rendering
+/// site shared by [`quantitative`] and the batched-vs-legacy equivalence
+/// suite.
+#[must_use]
+pub fn rows_table(rows: &[QuantRow]) -> TextTable {
     let mut t = TextTable::new(vec![
         "technique",
         "freq_gain",
@@ -74,7 +72,7 @@ pub fn quantitative(ctx: &ExperimentContext) -> Result<TextTable, ExperimentErro
     ]);
     for r in rows {
         t.row(vec![
-            r.technique,
+            r.technique.clone(),
             fnum(r.frequency_gain, 3),
             fnum(r.speedup, 3),
             fnum(r.relative_ipc, 3),
@@ -83,7 +81,17 @@ pub fn quantitative(ctx: &ExperimentContext) -> Result<TextTable, ExperimentErro
             yes_no(r.hard_to_test),
         ]);
     }
-    Ok(t)
+    t
+}
+
+/// Measured comparison at 500 mV over the context suite.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn quantitative(ctx: &ExperimentContext) -> Result<TextTable, ExperimentError> {
+    let vcc = Millivolts::new(500).expect("500 mV on the grid");
+    Ok(rows_table(&quantitative_rows_at(ctx, vcc)?))
 }
 
 #[cfg(test)]

@@ -69,6 +69,27 @@ pub fn boolean(b: bool) -> String {
     if b { "true" } else { "false" }.to_string()
 }
 
+/// Renders a parsed [`Value`] back to the same canonical one-line form
+/// the emitters above produce (round-trips with [`parse`]) — how the
+/// perf-trajectory appender rewrites a document's existing entries.
+#[must_use]
+pub fn render(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => boolean(*b),
+        Value::Num(x) => number(*x),
+        Value::Str(s) => string(s),
+        Value::Arr(items) => array(&items.iter().map(render).collect::<Vec<_>>()),
+        Value::Obj(fields) => {
+            let body: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{}: {}", string(k), render(v)))
+                .collect();
+            format!("{{{}}}", body.join(", "))
+        }
+    }
+}
+
 // --- strict parser --------------------------------------------------------
 
 /// A parsed JSON value.
@@ -465,6 +486,24 @@ mod tests {
         assert_eq!(v.get("nan"), Some(&Value::Null));
         assert_eq!(v.get("flag").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("items").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn render_round_trips_documents() {
+        let doc = object(&[
+            ("name", string("a \"quoted\" name")),
+            ("x", number(1.5)),
+            ("missing", "null".to_string()),
+            ("flag", boolean(false)),
+            ("items", array(&[number(1.0), string("two")])),
+            ("nested", object(&[("k", number(-3.25))])),
+        ]);
+        let v = parse(&doc).unwrap();
+        let rendered = render(&v);
+        assert_eq!(parse(&rendered).unwrap(), v, "render must round-trip");
+        // Canonical form is stable: rendering the emitter's own output
+        // reproduces it byte for byte.
+        assert_eq!(rendered, doc);
     }
 
     #[test]

@@ -30,8 +30,10 @@ pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod store;
+pub mod trajectory;
 
 pub use context::{ExperimentContext, SuiteChoice};
 pub use error::ExperimentError;
 pub use report::TextTable;
 pub use store::{Flight, FlightGuard, FlightWaiter, ResultStore, StoreError, StoreStats};
+pub use trajectory::{FamilyThroughput, TrajectoryEntry, TRAJECTORY_SCHEMA};

@@ -1,0 +1,454 @@
+//! The machine-readable perf trajectory (`BENCH_*.json`): every PR
+//! appends one measurement of the batched sweep engine against the
+//! legacy per-point path, so a regression in either execution model
+//! shows up as a kink in the committed series instead of a shrug.
+//!
+//! A document is `{"schema": "lowvcc-bench-trajectory-v1", "entries":
+//! [...]}`. Each entry records the suite, the sweep grid shape,
+//! wall-clock seconds and simulated uops/s for both execution models —
+//! in total and per workload family — and the batched-over-per-point
+//! speedup. Documents round-trip through the strict parser in
+//! [`crate::json`]; the `bench_json_check` binary fails CI the moment a
+//! committed document stops parsing.
+
+use std::path::Path;
+use std::time::Instant;
+
+use lowvcc_core::{run_batch, EngineWorkspace, Mechanism, SimConfig, SimError, Simulator};
+use lowvcc_sram::PAPER_SWEEP;
+use lowvcc_trace::TraceArena;
+
+use crate::context::ExperimentContext;
+use crate::error::ExperimentError;
+use crate::json::{self, Value};
+
+/// Schema identifier of a trajectory document.
+pub const TRAJECTORY_SCHEMA: &str = "lowvcc-bench-trajectory-v1";
+
+/// Batched-vs-per-point timings for one workload family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyThroughput {
+    /// Family label (e.g. `specint`).
+    pub family: String,
+    /// Dynamic uops each execution model simulated for this family
+    /// (family trace uops × grid configurations).
+    pub uops: u64,
+    /// Wall-clock seconds of the batched pass.
+    pub batched_seconds: f64,
+    /// Wall-clock seconds of the legacy per-point pass.
+    pub per_point_seconds: f64,
+}
+
+fn rate(uops: u64, secs: f64) -> f64 {
+    if secs > 0.0 && secs.is_finite() {
+        uops as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+fn ratio(per_point: f64, batched: f64) -> f64 {
+    if batched > 0.0 && per_point.is_finite() {
+        per_point / batched
+    } else {
+        1.0
+    }
+}
+
+impl FamilyThroughput {
+    /// Simulated uops per second of the batched pass (`0.0` on
+    /// degenerate timing, never `inf`/`NaN`).
+    #[must_use]
+    pub fn batched_uops_per_second(&self) -> f64 {
+        rate(self.uops, self.batched_seconds)
+    }
+
+    /// Simulated uops per second of the per-point pass.
+    #[must_use]
+    pub fn per_point_uops_per_second(&self) -> f64 {
+        rate(self.uops, self.per_point_seconds)
+    }
+
+    /// Batched speedup over per-point (`1.0` on degenerate timing).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        ratio(self.per_point_seconds, self.batched_seconds)
+    }
+
+    fn to_json(&self) -> String {
+        json::object(&[
+            ("family", json::string(&self.family)),
+            ("uops", self.uops.to_string()),
+            ("batched_seconds", json::number(self.batched_seconds)),
+            ("per_point_seconds", json::number(self.per_point_seconds)),
+            (
+                "batched_uops_per_second",
+                json::number(self.batched_uops_per_second()),
+            ),
+            (
+                "per_point_uops_per_second",
+                json::number(self.per_point_uops_per_second()),
+            ),
+            ("speedup", json::number(self.speedup())),
+        ])
+    }
+}
+
+/// One appended trajectory measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEntry {
+    /// Suite label the measurement ran on.
+    pub suite: String,
+    /// Voltage points in the sweep grid (13 — the paper's grid).
+    pub voltage_points: usize,
+    /// Mechanisms per voltage point (3: baseline, IRAW, ideal logic).
+    pub mechanisms: usize,
+    /// Per-family timings, in first-appearance suite order.
+    pub families: Vec<FamilyThroughput>,
+}
+
+impl TrajectoryEntry {
+    /// Dynamic uops each execution model simulated in total.
+    #[must_use]
+    pub fn total_uops(&self) -> u64 {
+        self.families.iter().map(|f| f.uops).sum()
+    }
+
+    /// Total wall-clock seconds of the batched pass.
+    #[must_use]
+    pub fn batched_seconds(&self) -> f64 {
+        self.families.iter().map(|f| f.batched_seconds).sum()
+    }
+
+    /// Total wall-clock seconds of the per-point pass.
+    #[must_use]
+    pub fn per_point_seconds(&self) -> f64 {
+        self.families.iter().map(|f| f.per_point_seconds).sum()
+    }
+
+    /// Overall batched throughput (simulated uops per second).
+    #[must_use]
+    pub fn batched_uops_per_second(&self) -> f64 {
+        rate(self.total_uops(), self.batched_seconds())
+    }
+
+    /// Overall per-point throughput.
+    #[must_use]
+    pub fn per_point_uops_per_second(&self) -> f64 {
+        rate(self.total_uops(), self.per_point_seconds())
+    }
+
+    /// Overall batched speedup over per-point.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        ratio(self.per_point_seconds(), self.batched_seconds())
+    }
+
+    /// Renders the entry as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let families: Vec<String> = self
+            .families
+            .iter()
+            .map(FamilyThroughput::to_json)
+            .collect();
+        json::object(&[
+            ("suite", json::string(&self.suite)),
+            ("voltage_points", self.voltage_points.to_string()),
+            ("mechanisms", self.mechanisms.to_string()),
+            (
+                "grid_configs",
+                (self.voltage_points * self.mechanisms).to_string(),
+            ),
+            ("total_uops", self.total_uops().to_string()),
+            ("batched_seconds", json::number(self.batched_seconds())),
+            ("per_point_seconds", json::number(self.per_point_seconds())),
+            (
+                "batched_uops_per_second",
+                json::number(self.batched_uops_per_second()),
+            ),
+            (
+                "per_point_uops_per_second",
+                json::number(self.per_point_uops_per_second()),
+            ),
+            ("speedup", json::number(self.speedup())),
+            ("families", json::array(&families)),
+        ])
+    }
+}
+
+/// The paper's full sweep grid: 13 voltage points × all 3 mechanisms.
+#[must_use]
+pub fn paper_grid(ctx: &ExperimentContext) -> Vec<SimConfig> {
+    PAPER_SWEEP
+        .iter()
+        .flat_map(|vcc| {
+            [Mechanism::Baseline, Mechanism::Iraw, Mechanism::IdealLogic]
+                .map(|m| SimConfig::at_vcc(ctx.core, &ctx.timing, vcc, m))
+        })
+        .collect()
+}
+
+/// Measures the batched engine against the legacy per-point path over
+/// the context's suite under the full [`paper_grid`], one accumulated
+/// timing per workload family.
+///
+/// Both passes run sequentially in the calling thread, so entries stay
+/// comparable across machines with different core counts — the
+/// trajectory tracks the *engine*, not the runner. Each pass pays
+/// exactly its production costs inside the timed region: the batched
+/// pass one arena decode per trace plus reset-reuse of a single
+/// workspace; the per-point pass a fresh engine and a fresh decode per
+/// (configuration, trace) pair.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn measure(ctx: &ExperimentContext) -> Result<TrajectoryEntry, ExperimentError> {
+    let grid = paper_grid(ctx);
+    let mut families: Vec<FamilyThroughput> = Vec::new();
+    let mut ws = EngineWorkspace::new();
+    for (spec, trace) in ctx.specs.iter().zip(&ctx.suite) {
+        let label = spec.family.name();
+
+        let started = Instant::now();
+        let arena = TraceArena::from_trace(trace);
+        let mut batched_committed = 0u64;
+        for r in run_batch(&grid, &arena, &mut ws)? {
+            batched_committed += r.stats.instructions;
+        }
+        let batched_seconds = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let mut per_point_committed = 0u64;
+        for cfg in &grid {
+            per_point_committed += Simulator::new(cfg.clone())
+                .map_err(SimError::from)?
+                .run(trace)?
+                .stats
+                .instructions;
+        }
+        let per_point_seconds = started.elapsed().as_secs_f64();
+        debug_assert_eq!(batched_committed, per_point_committed);
+
+        match families.iter_mut().find(|f| f.family == label) {
+            Some(f) => {
+                f.uops += batched_committed;
+                f.batched_seconds += batched_seconds;
+                f.per_point_seconds += per_point_seconds;
+            }
+            None => families.push(FamilyThroughput {
+                family: label.to_string(),
+                uops: batched_committed,
+                batched_seconds,
+                per_point_seconds,
+            }),
+        }
+    }
+    Ok(TrajectoryEntry {
+        suite: ctx.suite_label.clone(),
+        voltage_points: PAPER_SWEEP.iter().count(),
+        mechanisms: 3,
+        families,
+    })
+}
+
+/// Validates a trajectory document, returning its entry count.
+///
+/// # Errors
+///
+/// Describes the first problem found: a strict-parse failure, a
+/// missing/unknown schema tag, or a malformed entry.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing schema tag".to_string())?;
+    if schema != TRAJECTORY_SCHEMA {
+        return Err(format!("unknown schema {schema:?}"));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing entries array".to_string())?;
+    for (i, e) in entries.iter().enumerate() {
+        if e.get("suite").and_then(Value::as_str).is_none() {
+            return Err(format!("entry {i}: suite must be a string"));
+        }
+        for key in [
+            "batched_seconds",
+            "per_point_seconds",
+            "batched_uops_per_second",
+            "per_point_uops_per_second",
+            "speedup",
+        ] {
+            if e.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("entry {i}: {key} must be a number"));
+            }
+        }
+        let families = e
+            .get("families")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("entry {i}: families must be an array"))?;
+        if families.is_empty() {
+            return Err(format!("entry {i}: families is empty"));
+        }
+        for (j, f) in families.iter().enumerate() {
+            if f.get("family").and_then(Value::as_str).is_none() {
+                return Err(format!("entry {i} family {j}: family must be a string"));
+            }
+            if f.get("uops").and_then(Value::as_u64).is_none() {
+                return Err(format!("entry {i} family {j}: uops must be a whole number"));
+            }
+        }
+    }
+    Ok(entries.len())
+}
+
+fn invalid(path: &Path, reason: String) -> ExperimentError {
+    ExperimentError::io_at(path)(std::io::Error::new(std::io::ErrorKind::InvalidData, reason))
+}
+
+fn rendered_entries(text: &str) -> Result<Vec<String>, String> {
+    validate(text)?;
+    let doc = json::parse(text).expect("validated above");
+    let entries = doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .expect("validated above");
+    Ok(entries.iter().map(json::render).collect())
+}
+
+/// Appends `entry` to the trajectory document at `path`, creating the
+/// document when absent. An existing document must strictly parse and
+/// carry the expected schema — a corrupt trajectory fails loudly here
+/// instead of being silently overwritten.
+///
+/// # Errors
+///
+/// Returns an I/O-flavored [`ExperimentError`] (path attached) on read,
+/// parse/validation, or write failure.
+pub fn append(path: &Path, entry: &TrajectoryEntry) -> Result<(), ExperimentError> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => rendered_entries(&text).map_err(|reason| invalid(path, reason))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(ExperimentError::io_at(path)(e)),
+    };
+    entries.push(entry.to_json());
+    let mut doc = json::object(&[
+        ("schema", json::string(TRAJECTORY_SCHEMA)),
+        ("entries", json::array(&entries)),
+    ]);
+    doc.push('\n');
+    std::fs::write(path, doc).map_err(ExperimentError::io_at(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lowvcc_traj_{}_{name}.json", std::process::id()))
+    }
+
+    #[test]
+    fn measure_covers_every_family_and_grid_config() {
+        let ctx = ExperimentContext::sized(1, 500).unwrap();
+        let entry = measure(&ctx).unwrap();
+        assert_eq!(entry.voltage_points, 13);
+        assert_eq!(entry.mechanisms, 3);
+        assert_eq!(entry.families.len(), 7, "one timing per family");
+        // Every (config, trace) run commits the whole trace in both
+        // execution models.
+        assert_eq!(entry.total_uops(), 7 * 500 * 39);
+        assert!(entry.batched_seconds() > 0.0);
+        assert!(entry.per_point_seconds() > 0.0);
+        let doc = format!(
+            "{{\"schema\": {}, \"entries\": [{}]}}",
+            json::string(TRAJECTORY_SCHEMA),
+            entry.to_json()
+        );
+        assert_eq!(validate(&doc), Ok(1));
+    }
+
+    #[test]
+    fn append_accumulates_and_round_trips() {
+        let path = tmp("append");
+        let _ = std::fs::remove_file(&path);
+        let entry = TrajectoryEntry {
+            suite: "quick (7×10k)".to_string(),
+            voltage_points: 13,
+            mechanisms: 3,
+            families: vec![FamilyThroughput {
+                family: "specint".to_string(),
+                uops: 3_900_000,
+                batched_seconds: 0.5,
+                per_point_seconds: 0.75,
+            }],
+        };
+        append(&path, &entry).unwrap();
+        append(&path, &entry).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(validate(&text), Ok(2), "{text}");
+        let doc = json::parse(&text).unwrap();
+        let first = &doc.get("entries").unwrap().as_array().unwrap()[0];
+        assert_eq!(first.get("speedup").unwrap().as_f64(), Some(1.5));
+        assert_eq!(first.get("total_uops").unwrap().as_u64(), Some(3_900_000));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_refuses_corrupt_documents() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "{\"schema\": \"wrong\"").unwrap();
+        let entry = TrajectoryEntry {
+            suite: "s".to_string(),
+            voltage_points: 13,
+            mechanisms: 3,
+            families: Vec::new(),
+        };
+        let err = append(&path, &entry).unwrap_err();
+        assert!(err.to_string().contains("invalid JSON"), "{err}");
+        // The corrupt document is left untouched for inspection.
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"schema\": \"wrong\""
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn degenerate_timings_stay_finite() {
+        let f = FamilyThroughput {
+            family: "specint".to_string(),
+            uops: 1_000,
+            batched_seconds: 0.0,
+            per_point_seconds: 0.0,
+        };
+        assert_eq!(f.batched_uops_per_second(), 0.0);
+        assert_eq!(f.per_point_uops_per_second(), 0.0);
+        assert_eq!(f.speedup(), 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        for (doc, want) in [
+            ("{", "invalid JSON"),
+            ("{\"entries\": []}", "missing schema"),
+            ("{\"schema\": \"nope\", \"entries\": []}", "unknown schema"),
+            (
+                "{\"schema\": \"lowvcc-bench-trajectory-v1\"}",
+                "missing entries",
+            ),
+            (
+                "{\"schema\": \"lowvcc-bench-trajectory-v1\", \"entries\": [{}]}",
+                "suite must be a string",
+            ),
+        ] {
+            let err = validate(doc).unwrap_err();
+            assert!(err.contains(want), "{doc} -> {err}");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Decode-once/simulate-many batch execution.
+//!
+//! A voltage sweep replays the *same* trace under many configurations
+//! (13 voltage points × up to 3 mechanisms). The per-point path decodes
+//! the trace and rebuilds the whole engine for every run; the batch path
+//! decodes once into a [`TraceArena`](lowvcc_trace::TraceArena) and
+//! reuses one [`EngineWorkspace`] across all points, so the steady state
+//! of a warmed-up sweep allocates nothing (verified by the
+//! counting-allocator test in `tests/zero_alloc.rs`).
+//!
+//! Batched execution is byte-identical to the per-point path: every
+//! [`Engine::reset`] restores the exact freshly-constructed state, and
+//! the equivalence suites assert it across traces, mechanisms and worker
+//! counts.
+
+use lowvcc_trace::TraceArena;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::pipeline::Engine;
+use crate::stats::SimResult;
+
+/// A reusable engine slot: scoreboards, timed buffers, pending heaps and
+/// stall-guard state live across runs and are `reset()` between them
+/// instead of reallocated.
+///
+/// ```
+/// use lowvcc_core::{CoreConfig, EngineWorkspace, Mechanism, SimConfig};
+/// use lowvcc_sram::{CycleTimeModel, Millivolts};
+/// use lowvcc_trace::{TraceArena, TraceSpec, WorkloadFamily};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let timing = CycleTimeModel::silverthorne_45nm();
+/// let trace = TraceSpec::new(WorkloadFamily::Kernel, 0, 2_000).build()?;
+/// let arena = TraceArena::from_trace(&trace);
+/// let mut ws = EngineWorkspace::new();
+/// for vcc in [500u32, 525, 550] {
+///     let cfg = SimConfig::at_vcc(
+///         CoreConfig::silverthorne(),
+///         &timing,
+///         Millivolts::new(vcc)?,
+///         Mechanism::Iraw,
+///     );
+///     let result = ws.run(&cfg, &arena)?;
+///     assert_eq!(result.stats.instructions, 2_000);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineWorkspace {
+    engine: Option<Engine>,
+}
+
+impl EngineWorkspace {
+    /// Creates an empty workspace (the first run builds the engine).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { engine: None }
+    }
+
+    /// Runs `cfg` over an already-decoded trace, reusing the previous
+    /// run's engine storage when the core geometry matches (the common
+    /// sweep case — only Vcc/mechanism parameters change) and falling
+    /// back to a fresh construction otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and simulation errors.
+    pub fn run(&mut self, cfg: &SimConfig, trace: &TraceArena) -> Result<SimResult, SimError> {
+        match &mut self.engine {
+            Some(engine) if engine.config().core == cfg.core => engine.reset(cfg.clone())?,
+            slot => *slot = Some(Engine::new(cfg.clone())?),
+        }
+        self.engine
+            .as_mut()
+            .expect("engine installed above")
+            .run(trace)
+    }
+}
+
+/// Runs every configuration of a sweep over one decoded trace through a
+/// shared workspace — the batch entry point that interleaves a sweep's
+/// voltage points on a single trace for cache locality.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-index) configuration or simulation
+/// error.
+pub fn run_batch(
+    cfgs: &[SimConfig],
+    trace: &TraceArena,
+    ws: &mut EngineWorkspace,
+) -> Result<Vec<SimResult>, SimError> {
+    let mut out = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        out.push(ws.run(cfg, trace)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoreConfig, Mechanism};
+    use crate::sim::Simulator;
+    use lowvcc_sram::voltage::mv;
+    use lowvcc_sram::CycleTimeModel;
+    use lowvcc_trace::{TraceSpec, WorkloadFamily};
+
+    fn sweep_cfgs() -> Vec<SimConfig> {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let core = CoreConfig::silverthorne();
+        [450u32, 500, 550]
+            .iter()
+            .flat_map(|&vcc| {
+                let (base, iraw) = SimConfig::mechanism_pair(core, &timing, mv(vcc));
+                [base, iraw]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_fresh_engines_exactly() {
+        let trace = TraceSpec::new(WorkloadFamily::SpecInt, 3, 5_000)
+            .build()
+            .unwrap();
+        let arena = TraceArena::from_trace(&trace);
+        let cfgs = sweep_cfgs();
+        let mut ws = EngineWorkspace::new();
+        let batched = run_batch(&cfgs, &arena, &mut ws).unwrap();
+        for (cfg, b) in cfgs.iter().zip(&batched) {
+            let fresh = Simulator::new(cfg.clone()).unwrap().run(&trace).unwrap();
+            assert_eq!(b, &fresh, "{:?} at {:?}", cfg.mechanism, cfg.vcc);
+        }
+    }
+
+    #[test]
+    fn workspace_reruns_same_config_identically() {
+        let trace = TraceSpec::new(WorkloadFamily::Kernel, 1, 3_000)
+            .build()
+            .unwrap();
+        let arena = TraceArena::from_trace(&trace);
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let cfg = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(500),
+            Mechanism::Iraw,
+        );
+        let mut ws = EngineWorkspace::new();
+        let a = ws.run(&cfg, &arena).unwrap();
+        let b = ws.run(&cfg, &arena).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn geometry_change_falls_back_to_fresh_engine() {
+        let trace = TraceSpec::new(WorkloadFamily::Kernel, 2, 2_000)
+            .build()
+            .unwrap();
+        let arena = TraceArena::from_trace(&trace);
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let mut small = CoreConfig::silverthorne();
+        small.iq_entries = 16;
+        let a = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(500),
+            Mechanism::Iraw,
+        );
+        let b = SimConfig::at_vcc(small, &timing, mv(500), Mechanism::Iraw);
+        let mut ws = EngineWorkspace::new();
+        let ra = ws.run(&a, &arena).unwrap();
+        let rb = ws.run(&b, &arena).unwrap();
+        let fresh_b = Simulator::new(b).unwrap().run(&trace).unwrap();
+        assert_eq!(rb, fresh_b, "rebuilt engine must match fresh");
+        let ra2 = ws.run(&a, &arena).unwrap();
+        assert_eq!(ra, ra2, "switching back must also match");
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let trace = TraceSpec::new(WorkloadFamily::Kernel, 0, 100)
+            .build()
+            .unwrap();
+        let arena = TraceArena::from_trace(&trace);
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let mut cfg = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(500),
+            Mechanism::Baseline,
+        );
+        cfg.core.iq_entries = 33;
+        let mut ws = EngineWorkspace::new();
+        assert!(ws.run(&cfg, &arena).is_err());
+    }
+}

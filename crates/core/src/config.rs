@@ -240,6 +240,22 @@ impl SimConfig {
         }
     }
 
+    /// Builds the (Baseline, Iraw) configuration pair at `vcc` — the two
+    /// runs every sweep point compares. The single construction site for
+    /// the voltage→config mapping shared by the sweep, the mechanism
+    /// comparison, and the batched sweep grid.
+    #[must_use]
+    pub fn mechanism_pair(
+        core: CoreConfig,
+        timing: &CycleTimeModel,
+        vcc: Millivolts,
+    ) -> (Self, Self) {
+        (
+            Self::at_vcc(core, timing, vcc, Mechanism::Baseline),
+            Self::at_vcc(core, timing, vcc, Mechanism::Iraw),
+        )
+    }
+
     /// Off-chip memory latency in cycles at this clock.
     #[must_use]
     pub fn memory_latency_cycles(&self) -> u64 {

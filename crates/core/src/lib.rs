@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
+pub mod batch;
 pub mod canon;
 pub mod config;
 pub mod error;
@@ -47,6 +48,7 @@ pub mod sim;
 pub mod stats;
 
 pub use adapt::{adapt_at, AdaptGoal, AdaptOutcome};
+pub use batch::{run_batch, EngineWorkspace};
 pub use canon::{
     decode_sim_result, encode_sim_result, sim_key, CanonError, SimKey, ENGINE_SEMANTICS_VERSION,
 };
@@ -54,8 +56,8 @@ pub use config::{CoreConfig, Mechanism, SimConfig};
 pub use error::{ConfigError, SimError};
 pub use iraw::{IrawController, IrawSettings};
 pub use perf::{
-    compare_mechanisms, compare_mechanisms_with, run_suite, run_suite_with, speedup,
-    MechanismComparison, Parallelism, Speedup, SuiteResult,
+    compare_mechanisms, compare_mechanisms_with, run_batch_groups, run_suite, run_suite_batch,
+    run_suite_with, speedup, MechanismComparison, Parallelism, Speedup, SuiteResult,
 };
 pub use sim::Simulator;
 pub use stats::{BranchStats, SimResult, SimStats, StallBreakdown};

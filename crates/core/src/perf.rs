@@ -13,9 +13,10 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use lowvcc_sram::{CycleTimeModel, Millivolts};
-use lowvcc_trace::Trace;
+use lowvcc_trace::{Trace, TraceArena};
 
-use crate::config::{CoreConfig, Mechanism, SimConfig};
+use crate::batch::{run_batch, EngineWorkspace};
+use crate::config::{CoreConfig, SimConfig};
 use crate::error::SimError;
 use crate::sim::Simulator;
 use crate::stats::SimResult;
@@ -172,7 +173,10 @@ pub fn run_suite_with<T: Borrow<Trace> + Sync>(
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut out = Vec::new();
+                    // Sized once up front: work stealing puts no bound
+                    // below the full suite on one worker's claims, so
+                    // anything smaller can re-grow mid-sweep.
+                    let mut out = Vec::with_capacity(traces.len());
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(t) = traces.get(i) else {
@@ -204,6 +208,111 @@ pub fn run_suite_with<T: Borrow<Trace> + Sync>(
         per_trace.push((traces[i].borrow().name.clone(), r?));
     }
     Ok(SuiteResult { per_trace })
+}
+
+/// Runs each group's configurations over its trace, decoding every trace
+/// once and reusing one [`EngineWorkspace`] per worker — the batched
+/// counterpart of [`run_suite_with`], parallelised over *groups* (one
+/// per trace) instead of (config, trace) pairs so a decoded arena stays
+/// hot in cache across all of its sweep points.
+///
+/// `groups` pairs an index into `traces` with the configurations to run
+/// on it. Results come back in group order, each `Vec` in config order.
+/// Deterministic for any `par`, including which error is reported: the
+/// lowest group index, then the lowest config index within it.
+///
+/// # Errors
+///
+/// Propagates the first (group-order, then config-order) error.
+pub fn run_batch_groups<T: Borrow<Trace> + Sync>(
+    groups: &[(usize, Vec<SimConfig>)],
+    traces: &[T],
+    par: Parallelism,
+) -> Result<Vec<Vec<SimResult>>, SimError> {
+    let workers = par.count().min(groups.len());
+    if workers <= 1 {
+        let mut ws = EngineWorkspace::new();
+        let mut out = Vec::with_capacity(groups.len());
+        for (ti, cfgs) in groups {
+            let arena = TraceArena::from_trace(traces[*ti].borrow());
+            out.push(run_batch(cfgs, &arena, &mut ws)?);
+        }
+        return Ok(out);
+    }
+    // The same work-stealing discipline as `run_suite_with`, one claim
+    // per group: workers stop claiming past a known failure, so the
+    // group-order error choice stays deterministic while the tail is
+    // cancelled.
+    let next = AtomicUsize::new(0);
+    let first_err = AtomicUsize::new(usize::MAX);
+    let mut tagged: Vec<(usize, Result<Vec<SimResult>, SimError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ws = EngineWorkspace::new();
+                    let mut out = Vec::with_capacity(groups.len());
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((ti, cfgs)) = groups.get(i) else {
+                            break;
+                        };
+                        if i > first_err.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let arena = TraceArena::from_trace(traces[*ti].borrow());
+                        let r = run_batch(cfgs, &arena, &mut ws);
+                        if r.is_err() {
+                            first_err.fetch_min(i, Ordering::Relaxed);
+                        }
+                        out.push((i, r));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, r) in tagged {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Runs every configuration over every trace, batched per trace: each
+/// trace is decoded once and all of `cfgs` replay it back to back
+/// before the next trace is touched. Returns one [`SuiteResult`] per
+/// configuration, in `cfgs` order — byte-identical to calling
+/// [`run_suite_with`] once per configuration, for any `par`.
+///
+/// # Errors
+///
+/// Propagates the first (trace-order, then config-order) error.
+pub fn run_suite_batch<T: Borrow<Trace> + Sync>(
+    cfgs: &[SimConfig],
+    traces: &[T],
+    par: Parallelism,
+) -> Result<Vec<SuiteResult>, SimError> {
+    let groups: Vec<(usize, Vec<SimConfig>)> =
+        (0..traces.len()).map(|i| (i, cfgs.to_vec())).collect();
+    let per_group = run_batch_groups(&groups, traces, par)?;
+    let mut suites: Vec<SuiteResult> = cfgs
+        .iter()
+        .map(|_| SuiteResult {
+            per_trace: Vec::with_capacity(traces.len()),
+        })
+        .collect();
+    for (ti, results) in per_group.into_iter().enumerate() {
+        let name = &traces[ti].borrow().name;
+        for (ci, r) in results.into_iter().enumerate() {
+            suites[ci].per_trace.push((name.clone(), r));
+        }
+    }
+    Ok(suites)
 }
 
 /// Computes the speedup of `new` over `baseline` (paired by suite order).
@@ -273,10 +382,10 @@ pub fn compare_mechanisms_with(
     traces: &[Trace],
     par: Parallelism,
 ) -> Result<MechanismComparison, SimError> {
-    let base_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Baseline);
-    let iraw_cfg = SimConfig::at_vcc(core, timing, vcc, Mechanism::Iraw);
-    let baseline = run_suite_with(&base_cfg, traces, par)?;
-    let iraw = run_suite_with(&iraw_cfg, traces, par)?;
+    let (base_cfg, iraw_cfg) = SimConfig::mechanism_pair(core, timing, vcc);
+    let mut suites = run_suite_batch(&[base_cfg, iraw_cfg], traces, par)?;
+    let iraw = suites.pop().expect("two configs in, two suites out");
+    let baseline = suites.pop().expect("two configs in, two suites out");
     let speedup = speedup(&iraw, &baseline);
     Ok(MechanismComparison {
         vcc,
@@ -290,6 +399,7 @@ pub fn compare_mechanisms_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Mechanism;
     use lowvcc_sram::voltage::mv;
     use lowvcc_trace::{TraceSpec, WorkloadFamily};
 
@@ -368,6 +478,55 @@ mod tests {
         for workers in [2, 3, 8] {
             let parallel = run_suite_with(&cfg, &traces, Parallelism::threads(workers)).unwrap();
             assert_eq!(sequential, parallel, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn batched_suite_is_byte_identical_to_per_point() {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let core = CoreConfig::silverthorne();
+        let cfgs: Vec<SimConfig> = [475u32, 500, 550]
+            .iter()
+            .flat_map(|&vcc| {
+                let (base, iraw) = SimConfig::mechanism_pair(core, &timing, mv(vcc));
+                [base, iraw]
+            })
+            .collect();
+        let traces = small_suite();
+        let per_point: Vec<SuiteResult> = cfgs
+            .iter()
+            .map(|cfg| run_suite(cfg, &traces).unwrap())
+            .collect();
+        for workers in [1, 2, 5] {
+            let batched = run_suite_batch(&cfgs, &traces, Parallelism::threads(workers)).unwrap();
+            assert_eq!(per_point, batched, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn batch_groups_report_lowest_index_error() {
+        let timing = CycleTimeModel::silverthorne_45nm();
+        let good = SimConfig::at_vcc(
+            CoreConfig::silverthorne(),
+            &timing,
+            mv(500),
+            Mechanism::Baseline,
+        );
+        let mut bad = good.clone();
+        bad.core.iq_entries = 33;
+        let traces = small_suite();
+        let groups = vec![
+            (0usize, vec![good.clone()]),
+            (1, vec![bad.clone(), good.clone()]),
+            (2, vec![bad]),
+        ];
+        for workers in [1, 3] {
+            let err = run_batch_groups(&groups, &traces, Parallelism::threads(workers))
+                .expect_err("invalid config must surface");
+            assert!(
+                matches!(err, SimError::Config(_)),
+                "unexpected error {err:?} at {workers} workers"
+            );
         }
     }
 

@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use lowvcc_trace::{Trace, UopKind};
+use lowvcc_trace::{TraceArena, UopKind};
 use lowvcc_uarch::bpred::{Bimodal, BranchPredictor, Btb, CorruptionTracker};
 use lowvcc_uarch::rsb::ReturnStack;
 
@@ -66,9 +66,28 @@ impl FrontEnd {
         }
     }
 
+    /// Restores the freshly-constructed state in place for `cfg` — the
+    /// exact state [`FrontEnd::new`] would build — reusing the predictor
+    /// tables and the decode queue's storage. No allocation.
+    pub fn reset(&mut self, cfg: &SimConfig) {
+        let n = cfg.stabilization_cycles;
+        self.bp.reset();
+        self.btb.reset();
+        self.rsb.reset(n);
+        self.tracker.reset(n);
+        self.decode_queue.clear();
+        self.cursor = 0;
+        self.stalled_until = 0;
+        self.last_line = None;
+        self.fetch_width = cfg.core.fetch_width;
+        self.front_end_stages = u64::from(cfg.core.front_end_stages);
+        self.mispredict_penalty = u64::from(cfg.core.mispredict_penalty);
+        self.stats = BranchStats::default();
+    }
+
     /// Whether every trace uop has been fetched.
     #[must_use]
-    pub fn trace_exhausted(&self, trace: &Trace) -> bool {
+    pub fn trace_exhausted(&self, trace: &TraceArena) -> bool {
         self.cursor >= trace.len()
     }
 
@@ -118,7 +137,7 @@ impl FrontEnd {
 
     /// One fetch cycle: fetch up to `fetch_width` uops in trace order,
     /// modelling IL0/ITLB latency and branch prediction.
-    pub fn fetch_cycle(&mut self, trace: &Trace, mem: &mut MemHierarchy, now: u64) {
+    pub fn fetch_cycle(&mut self, trace: &TraceArena, mem: &mut MemHierarchy, now: u64) {
         if now < self.stalled_until {
             return;
         }
@@ -126,11 +145,13 @@ impl FrontEnd {
             if self.cursor >= trace.len() || self.decode_queue.len() >= self.queue_cap {
                 return;
             }
-            let u = &trace.uops[self.cursor];
+            let pc = trace.pc(self.cursor);
+            let kind = trace.kind(self.cursor);
+            let taken = trace.taken(self.cursor);
             // Instruction-cache access on line change.
-            let line = u.pc >> 6;
+            let line = pc >> 6;
             if self.last_line != Some(line) {
-                let ready = mem.ifetch(u.pc, now);
+                let ready = mem.ifetch(pc, now);
                 self.last_line = Some(line);
                 if ready > now {
                     // Miss (or guard): the group arrives later; resume then.
@@ -144,13 +165,14 @@ impl FrontEnd {
             });
             self.cursor += 1;
 
-            if u.kind.is_control() {
-                let mispredicted = self.predict_and_train(u.pc, u.kind, u.taken, u.target, now);
+            if kind.is_control() {
+                let target = trace.target(self.cursor - 1);
+                let mispredicted = self.predict_and_train(pc, kind, taken, target, now);
                 if mispredicted {
                     self.stalled_until = now + self.mispredict_penalty;
                     return;
                 }
-                if u.taken {
+                if taken {
                     // Fetch group breaks on taken control flow.
                     return;
                 }
@@ -224,7 +246,7 @@ mod tests {
     use crate::config::{CoreConfig, Mechanism, SimConfig};
     use lowvcc_sram::voltage::mv;
     use lowvcc_sram::CycleTimeModel;
-    use lowvcc_trace::Uop;
+    use lowvcc_trace::{Trace, Uop};
 
     fn setup(mechanism: Mechanism) -> (FrontEnd, MemHierarchy) {
         let cfg = SimConfig::at_vcc(
@@ -242,9 +264,9 @@ mod tests {
         (0..width).map_while(|_| fe.pop_decoded(now)).collect()
     }
 
-    fn straight_line_trace(n: usize) -> Trace {
+    fn straight_line_trace(n: usize) -> TraceArena {
         let uops = (0..n).map(|i| Uop::nop(0x40_0000 + 4 * i as u64)).collect();
-        Trace::new("straight", uops)
+        TraceArena::from_trace(&Trace::new("straight", uops))
     }
 
     #[test]
@@ -289,7 +311,7 @@ mod tests {
             uops.push(Uop::branch(0x40_0100, None, true, 0x40_0000));
             uops.push(Uop::nop(0x40_0000));
         }
-        let trace = Trace::new("loop", uops);
+        let trace = TraceArena::from_trace(&Trace::new("loop", uops));
         for now in 0..5000u64 {
             fe.fetch_cycle(&trace, &mut mem, now);
             let _ = take_decoded(&mut fe, 2, now);
@@ -327,7 +349,7 @@ mod tests {
             uops.push(ret);
             uops.push(Uop::nop(call_pc + 4));
         }
-        let trace = Trace::new("callret", uops);
+        let trace = TraceArena::from_trace(&Trace::new("callret", uops));
         for now in 0..5000u64 {
             fe.fetch_cycle(&trace, &mut mem, now);
             let _ = take_decoded(&mut fe, 2, now);
@@ -353,7 +375,7 @@ mod tests {
         for i in 0..40 {
             uops.push(Uop::branch(0x40_0100, None, i % 2 == 0, 0x40_0000));
         }
-        let trace = Trace::new("alt", uops);
+        let trace = TraceArena::from_trace(&Trace::new("alt", uops));
         let mut now = 0;
         while !fe.trace_exhausted(&trace) && now < 10_000 {
             fe.fetch_cycle(&trace, &mut mem, now);

@@ -97,6 +97,44 @@ impl MemHierarchy {
         })
     }
 
+    /// Restores the freshly-constructed state in place for `cfg` — the
+    /// exact state [`MemHierarchy::new`] would build, including the
+    /// re-applied fault map and every cfg-derived latency — without
+    /// reallocating the cache, TLB or buffer storage. The caller must
+    /// keep the cache geometry (`cfg.core`) unchanged; batch reuse falls
+    /// back to a fresh construction otherwise.
+    pub fn reset(&mut self, cfg: &SimConfig) {
+        self.il0.reset();
+        self.dl0.reset();
+        self.ul1.reset();
+        let (dis_il0, dis_dl0, dis_ul1) = cfg.disabled_lines;
+        if dis_il0 + dis_dl0 + dis_ul1 > 0 {
+            // Same draw order as `new`: il0 → dl0 → ul1 from one stream.
+            let mut rng = SimRng::seed_from(cfg.fault_seed);
+            self.il0.disable_random_lines(dis_il0, &mut rng);
+            self.dl0.disable_random_lines(dis_dl0, &mut rng);
+            self.ul1.disable_random_lines(dis_ul1, &mut rng);
+        }
+        self.itlb.reset();
+        self.dtlb.reset();
+        self.fb.reset();
+        self.wcb.reset();
+        let n = cfg.stabilization_cycles;
+        self.il0_guard = StallGuard::new(n);
+        self.dl0_guard = StallGuard::new(n);
+        self.ul1_guard = StallGuard::new(n);
+        self.itlb_guard = StallGuard::new(n);
+        self.dtlb_guard = StallGuard::new(n);
+        self.wcb_guard = StallGuard::new(n);
+        self.lat_ul1 = u64::from(cfg.core.lat_ul1);
+        self.lat_dl0 = u64::from(cfg.core.lat_dl0_hit);
+        self.page_walk = u64::from(cfg.core.page_walk_cycles);
+        self.mem_latency = cfg.memory_latency_cycles();
+        self.prefetch_next_line = cfg.core.il0_next_line_prefetch;
+        self.memory_accesses = 0;
+        self.other_fill_stall_cycles = 0;
+    }
+
     /// Reconfigures every guard's `N` (Vcc change).
     pub fn set_stabilization_cycles(&mut self, n: u32) {
         for g in [
@@ -139,8 +177,8 @@ impl MemHierarchy {
 
     /// Frees completed fill-buffer and WCB entries.
     pub fn tick(&mut self, now: u64) {
-        let _ = self.fb.take_ready(now);
-        let _ = self.wcb.take_ready(now);
+        self.fb.expire(now);
+        self.wcb.expire(now);
     }
 
     /// Delays `start` past a guard, charging the pushed cycles to the
@@ -212,7 +250,7 @@ impl MemHierarchy {
             if !self.fb.is_full() {
                 return t;
             }
-            let _ = self.fb.take_ready(t);
+            self.fb.expire(t);
             earliest = t;
         }
         earliest

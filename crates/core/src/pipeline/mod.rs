@@ -16,7 +16,7 @@ pub mod memory;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use lowvcc_trace::{Reg, Trace, Uop, UopKind};
+use lowvcc_trace::{Reg, TraceArena, UopKind};
 use lowvcc_uarch::iq::InstQueue;
 use lowvcc_uarch::ports::PortSet;
 use lowvcc_uarch::scoreboard::{IrawWindow, Scoreboard};
@@ -41,14 +41,14 @@ struct IqEntry {
 }
 
 impl IqEntry {
-    fn from_uop(u: &Uop) -> Self {
+    fn from_arena(trace: &TraceArena, i: usize) -> Self {
         Self {
-            kind: u.kind,
-            dst: u.dst,
-            src1: u.src1,
-            src2: u.src2,
-            addr: u.addr,
-            size: u.size,
+            kind: trace.kind(i),
+            dst: trace.dst(i),
+            src1: trace.src1(i),
+            src2: trace.src2(i),
+            addr: trace.addr(i),
+            size: trace.size(i),
             drain_noop: false,
         }
     }
@@ -84,11 +84,12 @@ enum Blocker {
     WritePort,
 }
 
-/// The simulation engine for one (config, trace) pair.
+/// The simulation engine for one configuration. The trace is not owned:
+/// every run method borrows a decoded [`TraceArena`], so one arena can
+/// feed many engines (and one engine, via [`Engine::reset`], many runs).
 #[derive(Debug, Clone)]
-pub struct Engine<'t> {
+pub struct Engine {
     cfg: SimConfig,
-    trace: &'t Trace,
     fe: FrontEnd,
     mem: MemHierarchy,
     iq: InstQueue<IqEntry>,
@@ -117,13 +118,13 @@ pub struct Engine<'t> {
     stats: SimStats,
 }
 
-impl<'t> Engine<'t> {
+impl Engine {
     /// Builds the engine.
     ///
     /// # Errors
     ///
     /// Propagates configuration validation failures.
-    pub fn new(cfg: SimConfig, trace: &'t Trace) -> Result<Self, SimError> {
+    pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
         cfg.validate()?;
         let mem = MemHierarchy::new(&cfg)?;
         let fe = FrontEnd::new(&cfg);
@@ -155,8 +156,60 @@ impl<'t> Engine<'t> {
             now: 0,
             stats: SimStats::default(),
             cfg,
-            trace,
         })
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Restores the freshly-constructed state in place for `cfg` — the
+    /// exact state [`Engine::new`] would build — reusing every buffer
+    /// the engine owns. The steady state of a warmed-up sweep therefore
+    /// allocates nothing.
+    ///
+    /// The core geometry (`cfg.core`) must match the one this engine was
+    /// built with: only sweep parameters (Vcc, mechanism, stabilization
+    /// cycles, fault map) may change between runs. Callers reusing an
+    /// engine across configurations check that precondition and fall back
+    /// to a fresh construction (see `EngineWorkspace`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn reset(&mut self, cfg: SimConfig) -> Result<(), SimError> {
+        cfg.validate()?;
+        debug_assert_eq!(
+            cfg.core, self.cfg.core,
+            "Engine::reset requires an unchanged core geometry"
+        );
+        self.mem.reset(&cfg);
+        self.fe.reset(&cfg);
+        self.iq.reset();
+        self.sb.reset();
+        self.shadow.reset();
+        self.stable.reset();
+        self.stable.reconfigure(cfg.stabilization_cycles as usize);
+        self.pending.clear();
+        self.window = (cfg.stabilization_cycles > 0).then_some(IrawWindow {
+            bypass_levels: cfg.core.bypass_levels,
+            bubble: cfg.stabilization_cycles,
+        });
+        self.div_free_at = 0;
+        self.fpdiv_free_at = 0;
+        self.mem_port_free_at = 0;
+        self.repair_until = 0;
+        self.write_ports.reset();
+        self.store_this_cycle = None;
+        self.iq_real_entries = 0;
+        self.head_iraw_delayed = false;
+        self.issue_blocked = false;
+        self.now = 0;
+        self.stats = SimStats::default();
+        self.cfg = cfg;
+        Ok(())
     }
 
     /// Runs the simulation to completion on the event-driven fast path:
@@ -169,8 +222,8 @@ impl<'t> Engine<'t> {
     ///
     /// Returns an error on invalid configuration or if the pipeline stops
     /// making progress (a simulator bug, surfaced rather than hung).
-    pub fn run(self) -> Result<SimResult, SimError> {
-        self.run_inner(true)
+    pub fn run(&mut self, trace: &TraceArena) -> Result<SimResult, SimError> {
+        self.run_inner(trace, true)
     }
 
     /// Runs the simulation stepping every cycle — the reference stepper
@@ -180,23 +233,23 @@ impl<'t> Engine<'t> {
     /// # Errors
     ///
     /// Same contract as [`Engine::run`].
-    pub fn run_naive(self) -> Result<SimResult, SimError> {
-        self.run_inner(false)
+    pub fn run_naive(&mut self, trace: &TraceArena) -> Result<SimResult, SimError> {
+        self.run_inner(trace, false)
     }
 
-    fn run_inner(mut self, fast: bool) -> Result<SimResult, SimError> {
-        let budget = 1_000 * self.trace.len() as u64 + 100_000;
-        while !self.finished() {
+    fn run_inner(&mut self, trace: &TraceArena, fast: bool) -> Result<SimResult, SimError> {
+        let budget = 1_000 * trace.len() as u64 + 100_000;
+        while !self.finished(trace) {
             if self.now > budget {
                 return Err(SimError::NoProgress {
                     cycles: self.now,
                     committed: self.stats.instructions,
-                    total: self.trace.len() as u64,
+                    total: trace.len() as u64,
                 });
             }
-            self.step();
+            self.step(trace);
             if fast {
-                self.try_skip(budget);
+                self.try_skip(trace, budget);
             }
         }
         self.stats.cycles = self.now;
@@ -209,22 +262,22 @@ impl<'t> Engine<'t> {
         self.stats.stable = self.stable.stats();
         self.stats.stalls.other_fill = self.mem.other_fill_stall_cycles();
         self.stats.memory_accesses = self.mem.memory_accesses();
-        debug_assert_eq!(self.stats.instructions, self.trace.len() as u64);
+        debug_assert_eq!(self.stats.instructions, trace.len() as u64);
         Ok(SimResult {
-            stats: self.stats,
+            stats: self.stats.clone(),
             cycle_time: self.cfg.cycle_time,
         })
     }
 
-    fn finished(&self) -> bool {
-        self.fe.trace_exhausted(self.trace)
+    fn finished(&self, trace: &TraceArena) -> bool {
+        self.fe.trace_exhausted(trace)
             && self.fe.queue_empty()
             && self.iq.is_empty()
             && self.pending.is_empty()
     }
 
     /// One cycle.
-    fn step(&mut self) {
+    fn step(&mut self, trace: &TraceArena) {
         let now = self.now;
         // 1. Long-latency completions (load misses, divides).
         while let Some(&Reverse((t, reg))) = self.pending.peek() {
@@ -253,16 +306,16 @@ impl<'t> Engine<'t> {
             let Some(d) = self.fe.pop_decoded(now) else {
                 break;
             };
-            let entry = IqEntry::from_uop(&self.trace.uops[d.trace_idx]);
+            let entry = IqEntry::from_arena(trace, d.trace_idx);
             self.iq.alloc(entry).expect("room reserved above");
             self.iq_real_entries += 1;
         }
         // 6. Fetch.
-        self.fe.fetch_cycle(self.trace, &mut self.mem, now);
+        self.fe.fetch_cycle(trace, &mut self.mem, now);
         // 7. End-of-trace drain: real instructions stuck under the gate
         //    get NOOP padding (paper §4.2); once only padding remains,
         //    the queue is architecturally empty and can be dropped.
-        if self.fe.trace_exhausted(self.trace) && self.fe.queue_empty() && !self.iq.is_empty() {
+        if self.fe.trace_exhausted(trace) && self.fe.queue_empty() && !self.iq.is_empty() {
             if self.iq_real_entries == 0 {
                 self.iq.flush();
                 self.head_iraw_delayed = false;
@@ -300,7 +353,7 @@ impl<'t> Engine<'t> {
     /// the structural frees the head's kind consults. With
     /// `debug_assertions` enabled, every skip is replayed on a cloned
     /// engine with the naive stepper and the states are asserted equal.
-    fn try_skip(&mut self, budget: u64) {
+    fn try_skip(&mut self, trace: &TraceArena, budget: u64) {
         let now = self.now;
         // Two skippable shapes: a blocked IQ head behind an open gate, or
         // an empty IQ waiting on the front end (redirect / IL0 miss).
@@ -323,7 +376,7 @@ impl<'t> Engine<'t> {
                 Some(head)
             }
             None => {
-                if self.finished() {
+                if self.finished(trace) {
                     return;
                 }
                 None
@@ -366,7 +419,7 @@ impl<'t> Engine<'t> {
         // Fetch: quiescent only while redirect/miss-stalled, starved by an
         // exhausted trace, or blocked on a full decode queue (which cannot
         // drain before `wake` — allocation is bounded above).
-        if !self.fe.trace_exhausted(self.trace) && !self.fe.queue_full() {
+        if !self.fe.trace_exhausted(trace) && !self.fe.queue_full() {
             let s = self.fe.stalled_until();
             if s <= now {
                 return;
@@ -416,7 +469,7 @@ impl<'t> Engine<'t> {
         let reference = {
             let mut r = self.clone();
             for _ in 0..k {
-                r.step();
+                r.step(trace);
             }
             r
         };
@@ -708,6 +761,21 @@ mod tests {
     use crate::config::{CoreConfig, Mechanism};
     use lowvcc_sram::voltage::mv;
     use lowvcc_sram::CycleTimeModel;
+    use lowvcc_trace::{Trace, Uop};
+
+    fn run_on(cfg: SimConfig, trace: &Trace) -> SimResult {
+        Engine::new(cfg)
+            .unwrap()
+            .run(&TraceArena::from_trace(trace))
+            .unwrap()
+    }
+
+    fn run_naive_on(cfg: SimConfig, trace: &Trace) -> SimResult {
+        Engine::new(cfg)
+            .unwrap()
+            .run_naive(&TraceArena::from_trace(trace))
+            .unwrap()
+    }
 
     fn cfg(mechanism: Mechanism, vcc: u32) -> SimConfig {
         SimConfig::at_vcc(
@@ -755,7 +823,7 @@ mod tests {
     fn commits_every_instruction() {
         for mech in [Mechanism::Baseline, Mechanism::Iraw, Mechanism::IdealLogic] {
             let trace = independent_alus(500);
-            let result = Engine::new(cfg(mech, 500), &trace).unwrap().run().unwrap();
+            let result = run_on(cfg(mech, 500), &trace);
             assert_eq!(result.stats.instructions, 500, "{mech:?}");
             assert!(result.stats.cycles > 250, "at most 2 IPC");
         }
@@ -764,10 +832,7 @@ mod tests {
     #[test]
     fn independent_stream_reaches_high_ipc() {
         let trace = independent_alus(4000);
-        let result = Engine::new(cfg(Mechanism::Baseline, 600), &trace)
-            .unwrap()
-            .run()
-            .unwrap();
+        let result = run_on(cfg(Mechanism::Baseline, 600), &trace);
         let ipc = result.stats.ipc();
         assert!(
             ipc > 1.5,
@@ -778,10 +843,7 @@ mod tests {
     #[test]
     fn dependent_chain_is_serial() {
         let trace = alu_chain(2000);
-        let result = Engine::new(cfg(Mechanism::Baseline, 600), &trace)
-            .unwrap()
-            .run()
-            .unwrap();
+        let result = run_on(cfg(Mechanism::Baseline, 600), &trace);
         let ipc = result.stats.ipc();
         assert!(
             ipc < 1.1,
@@ -811,14 +873,8 @@ mod tests {
             uops.push(Uop::alu(loop_pc(base + 5), Some(reg(15)), Some(d), None));
         }
         let trace = Trace::new("gap", uops);
-        let base = Engine::new(cfg(Mechanism::Baseline, 500), &trace)
-            .unwrap()
-            .run()
-            .unwrap();
-        let iraw = Engine::new(cfg(Mechanism::Iraw, 500), &trace)
-            .unwrap()
-            .run()
-            .unwrap();
+        let base = run_on(cfg(Mechanism::Baseline, 500), &trace);
+        let iraw = run_on(cfg(Mechanism::Iraw, 500), &trace);
         assert_eq!(base.stats.stalls.rf_iraw, 0, "baseline has no IRAW stalls");
         assert_eq!(base.stats.iraw_delayed_instructions, 0);
         assert!(
@@ -836,14 +892,8 @@ mod tests {
     fn back_to_back_consumers_use_the_bypass() {
         // Distance-1 consumers ride the bypass network: IRAW adds nothing.
         let trace = alu_chain(1000);
-        let base = Engine::new(cfg(Mechanism::Baseline, 500), &trace)
-            .unwrap()
-            .run()
-            .unwrap();
-        let iraw = Engine::new(cfg(Mechanism::Iraw, 500), &trace)
-            .unwrap()
-            .run()
-            .unwrap();
+        let base = run_on(cfg(Mechanism::Baseline, 500), &trace);
+        let iraw = run_on(cfg(Mechanism::Iraw, 500), &trace);
         // A pure chain issues one per cycle in both cases (bypass hit);
         // cycle counts stay close (fetch effects aside).
         let ratio = iraw.stats.cycles as f64 / base.stats.cycles as f64;
@@ -876,18 +926,12 @@ mod tests {
             ));
         }
         let trace = Trace::new("stld", uops);
-        let iraw = Engine::new(cfg(Mechanism::Iraw, 500), &trace)
-            .unwrap()
-            .run()
-            .unwrap();
+        let iraw = run_on(cfg(Mechanism::Iraw, 500), &trace);
         assert!(
             iraw.stats.stable.full_matches > 0,
             "same-address store→load must hit the STable"
         );
-        let base = Engine::new(cfg(Mechanism::Baseline, 500), &trace)
-            .unwrap()
-            .run()
-            .unwrap();
+        let base = run_on(cfg(Mechanism::Baseline, 500), &trace);
         assert_eq!(base.stats.stable.probes, 0, "STable off in baseline");
     }
 
@@ -896,10 +940,7 @@ mod tests {
         // A short trace whose tail would sit below the occupancy gate
         // forever without NOOP injection.
         let trace = independent_alus(3);
-        let result = Engine::new(cfg(Mechanism::Iraw, 500), &trace)
-            .unwrap()
-            .run()
-            .unwrap();
+        let result = run_on(cfg(Mechanism::Iraw, 500), &trace);
         assert_eq!(result.stats.instructions, 3);
         assert!(result.stats.drain_noops > 0, "gate needs NOOP padding");
     }
@@ -923,10 +964,7 @@ mod tests {
             ));
         }
         let trace = Trace::new("div", uops);
-        let result = Engine::new(cfg(Mechanism::Baseline, 600), &trace)
-            .unwrap()
-            .run()
-            .unwrap();
+        let result = run_on(cfg(Mechanism::Baseline, 600), &trace);
         // Divide latency (16) dominates this short trace.
         assert!(result.stats.cycles > 16);
         assert_eq!(result.stats.instructions, 22);
@@ -952,11 +990,8 @@ mod tests {
         let trace = Trace::new("divchain", uops);
         for mech in [Mechanism::Baseline, Mechanism::Iraw, Mechanism::IdealLogic] {
             for vcc in [400, 500, 700] {
-                let fast = Engine::new(cfg(mech, vcc), &trace).unwrap().run().unwrap();
-                let naive = Engine::new(cfg(mech, vcc), &trace)
-                    .unwrap()
-                    .run_naive()
-                    .unwrap();
+                let fast = run_on(cfg(mech, vcc), &trace);
+                let naive = run_naive_on(cfg(mech, vcc), &trace);
                 assert_eq!(fast.stats, naive.stats, "{mech:?} at {vcc} mV");
             }
         }
@@ -985,11 +1020,8 @@ mod tests {
         }
         let trace = Trace::new("memstream", uops);
         for mech in [Mechanism::Baseline, Mechanism::Iraw] {
-            let fast = Engine::new(cfg(mech, 500), &trace).unwrap().run().unwrap();
-            let naive = Engine::new(cfg(mech, 500), &trace)
-                .unwrap()
-                .run_naive()
-                .unwrap();
+            let fast = run_on(cfg(mech, 500), &trace);
+            let naive = run_naive_on(cfg(mech, 500), &trace);
             assert_eq!(fast.stats, naive.stats, "{mech:?}");
         }
     }
@@ -999,7 +1031,7 @@ mod tests {
         let trace = independent_alus(2000);
         let results: Vec<_> = [Mechanism::IdealLogic, Mechanism::Iraw, Mechanism::Baseline]
             .iter()
-            .map(|&m| Engine::new(cfg(m, 450), &trace).unwrap().run().unwrap())
+            .map(|&m| run_on(cfg(m, 450), &trace))
             .collect();
         assert!(results[0].seconds() <= results[1].seconds());
         assert!(results[1].seconds() <= results[2].seconds());

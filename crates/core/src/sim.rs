@@ -1,6 +1,6 @@
 //! The public simulator facade.
 
-use lowvcc_trace::Trace;
+use lowvcc_trace::{Trace, TraceArena};
 
 use crate::config::SimConfig;
 use crate::error::{ConfigError, SimError};
@@ -54,7 +54,17 @@ impl Simulator {
     /// Returns [`SimError::NoProgress`] if the engine detects a live-lock
     /// (a simulator bug surfaced rather than a hang).
     pub fn run(&self, trace: &Trace) -> Result<SimResult, SimError> {
-        Engine::new(self.cfg.clone(), trace)?.run()
+        Engine::new(self.cfg.clone())?.run(&TraceArena::from_trace(trace))
+    }
+
+    /// Replays an already-decoded trace arena to completion — the
+    /// decode-once entry point batched sweeps build on.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::run`].
+    pub fn run_arena(&self, trace: &TraceArena) -> Result<SimResult, SimError> {
+        Engine::new(self.cfg.clone())?.run(trace)
     }
 
     /// Replays `trace` on the naive cycle-by-cycle reference stepper —
@@ -66,7 +76,7 @@ impl Simulator {
     ///
     /// Same contract as [`Simulator::run`].
     pub fn run_naive(&self, trace: &Trace) -> Result<SimResult, SimError> {
-        Engine::new(self.cfg.clone(), trace)?.run_naive()
+        Engine::new(self.cfg.clone())?.run_naive(&TraceArena::from_trace(trace))
     }
 }
 

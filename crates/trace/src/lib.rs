@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod arena;
 pub mod dist;
 pub mod error;
 pub mod families;
@@ -30,6 +31,7 @@ pub mod stats;
 pub mod synth;
 pub mod uop;
 
+pub use arena::TraceArena;
 pub use error::{TraceError, UopError};
 pub use families::{default_suite, paper_scale_suite, suite, TraceSpec, WorkloadFamily};
 pub use rng::SimRng;

@@ -73,6 +73,12 @@ impl Bimodal {
     fn index(&self, pc: u64) -> usize {
         (pc >> 2) as usize & self.mask
     }
+
+    /// Restores the freshly-constructed state in place (all counters
+    /// weakly not-taken). No allocation.
+    pub fn reset(&mut self) {
+        self.counters.fill(1);
+    }
 }
 
 impl BranchPredictor for Bimodal {
@@ -128,6 +134,13 @@ impl Gshare {
 
     fn index(&self, pc: u64) -> usize {
         ((pc >> 2) as usize ^ self.history) & self.mask
+    }
+
+    /// Restores the freshly-constructed state in place (counters weakly
+    /// not-taken, history cleared). No allocation.
+    pub fn reset(&mut self) {
+        self.counters.fill(1);
+        self.history = 0;
     }
 }
 
@@ -195,6 +208,11 @@ impl Btb {
         let idx = self.index(pc);
         self.entries[idx] = Some((pc, target));
     }
+
+    /// Restores the freshly-constructed (empty) state in place.
+    pub fn reset(&mut self) {
+        self.entries.fill(None);
+    }
 }
 
 /// Tracks potential IRAW corruptions in prediction-only tables.
@@ -250,6 +268,15 @@ impl CorruptionTracker {
     /// Reconfigures the window at a Vcc change.
     pub fn set_window(&mut self, n: u32) {
         self.window = u64::from(n);
+    }
+
+    /// Restores the freshly-constructed state in place for a window of
+    /// `n` cycles: write stamps and counters cleared. No allocation.
+    pub fn reset(&mut self, n: u32) {
+        self.last_flip_write.fill(u64::MAX);
+        self.window = u64::from(n);
+        self.reads = 0;
+        self.potential = 0;
     }
 
     /// Reads observed.

@@ -153,6 +153,29 @@ impl TimedBuffer {
         ready
     }
 
+    /// Drops every line whose completion cycle has arrived, without
+    /// returning them — the allocation-free twin of
+    /// [`TimedBuffer::take_ready`] for callers that only need the slots
+    /// recycled (the per-cycle tick). O(1) on cycles where nothing
+    /// completes.
+    pub fn expire(&mut self, now: u64) {
+        if self.next_ready > now {
+            return;
+        }
+        let mut remaining_min = u64::MAX;
+        for slot in &mut self.slots {
+            if let Some((_, at)) = *slot {
+                if at <= now {
+                    *slot = None;
+                    self.occupied -= 1;
+                } else {
+                    remaining_min = remaining_min.min(at);
+                }
+            }
+        }
+        self.next_ready = remaining_min;
+    }
+
     /// Total successful allocations.
     #[must_use]
     pub fn allocations(&self) -> u64 {
@@ -173,6 +196,14 @@ impl TimedBuffer {
         }
         self.next_ready = u64::MAX;
         self.occupied = 0;
+    }
+
+    /// Restores the freshly-constructed state in place (contents *and*
+    /// statistics), without reallocating the slot storage.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.allocations = 0;
+        self.full_rejections = 0;
     }
 }
 
@@ -322,6 +353,38 @@ mod tests {
         assert_eq!(fb.take_ready(15), vec![1]);
         assert!(fb.contains(2));
         assert_eq!(fb.take_ready(25), vec![2]);
+    }
+
+    #[test]
+    fn expire_matches_take_ready_effects() {
+        let mut taken = TimedBuffer::new(4);
+        let mut expired = TimedBuffer::new(4);
+        for fb in [&mut taken, &mut expired] {
+            fb.allocate(1, 10).unwrap();
+            fb.allocate(2, 20).unwrap();
+            fb.allocate(3, 15).unwrap();
+        }
+        let _ = taken.take_ready(15);
+        expired.expire(15);
+        assert_eq!(taken, expired);
+        assert!(!expired.contains(1));
+        assert!(expired.contains(2));
+        // Nothing-ready cycles are no-ops for both.
+        let _ = taken.take_ready(16);
+        expired.expire(16);
+        assert_eq!(taken, expired);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut fb = TimedBuffer::new(2);
+        fb.allocate(1, 10).unwrap();
+        fb.allocate(2, 10).unwrap();
+        let _ = fb.allocate(3, 10); // rejection
+        fb.reset();
+        assert_eq!(fb, TimedBuffer::new(2));
+        assert_eq!(fb.allocations(), 0);
+        assert_eq!(fb.full_rejections(), 0);
     }
 
     #[test]

@@ -15,6 +15,10 @@ use lowvcc_trace::SimRng;
 
 use crate::replacement::{Policy, PolicyState, WayView};
 
+/// Maximum supported associativity: lets the fill path snapshot a set
+/// into a stack buffer instead of heap-allocating per fill.
+pub const MAX_WAYS: usize = 16;
+
 /// Error validating a [`CacheConfig`] geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheConfigError {
@@ -27,6 +31,11 @@ pub enum CacheConfigError {
         /// The offending set count.
         sets: usize,
     },
+    /// Associativity exceeds [`MAX_WAYS`].
+    TooManyWays {
+        /// The offending way count.
+        ways: usize,
+    },
 }
 
 impl fmt::Display for CacheConfigError {
@@ -36,6 +45,9 @@ impl fmt::Display for CacheConfigError {
             Self::Indivisible => f.write_str("capacity must divide into ways × line size"),
             Self::SetsNotPowerOfTwo { sets } => {
                 write!(f, "set count {sets} must be a power of two")
+            }
+            Self::TooManyWays { ways } => {
+                write!(f, "way count {ways} exceeds the supported {MAX_WAYS}")
             }
         }
     }
@@ -76,6 +88,9 @@ impl CacheConfig {
         }
         if self.size_bytes % (self.ways * self.line_bytes) != 0 {
             return Err(CacheConfigError::Indivisible);
+        }
+        if self.ways > MAX_WAYS {
+            return Err(CacheConfigError::TooManyWays { ways: self.ways });
         }
         if !self.sets().is_power_of_two() {
             return Err(CacheConfigError::SetsNotPowerOfTwo { sets: self.sets() });
@@ -260,15 +275,21 @@ impl SetAssocCache {
         self.clock += 1;
         let set = self.set_index(line_addr) as usize;
         let tag = self.tag_of(line_addr);
-        let views: Vec<WayView> = self.lines[self.set_range(set)]
-            .iter()
-            .map(|l| WayView {
+        // Snapshot the set into a stack buffer (ways ≤ MAX_WAYS, enforced
+        // at construction): fills must stay allocation-free.
+        let mut views = [WayView {
+            valid: false,
+            disabled: false,
+            last_use: 0,
+        }; MAX_WAYS];
+        for (view, l) in views.iter_mut().zip(&self.lines[self.set_range(set)]) {
+            *view = WayView {
                 valid: l.valid,
                 disabled: l.disabled,
                 last_use: l.last_use,
-            })
-            .collect();
-        let Some(way) = self.policy.select_victim(set, &views) else {
+            };
+        }
+        let Some(way) = self.policy.select_victim(set, &views[..self.cfg.ways]) else {
             return Err(());
         };
         let sets = self.cfg.sets() as u64;
@@ -336,6 +357,25 @@ impl SetAssocCache {
     /// Resets the statistics (not the contents).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+
+    /// Restores the freshly-constructed state in place — contents,
+    /// recency, policy state, statistics, and the disable map — without
+    /// reallocating the line array. Callers modeling faulty lines must
+    /// re-apply their fault map afterwards.
+    pub fn reset(&mut self) {
+        for line in &mut self.lines {
+            *line = Line {
+                tag: 0,
+                valid: false,
+                disabled: false,
+                last_use: 0,
+            };
+        }
+        self.policy.reset();
+        self.stats = CacheStats::default();
+        self.clock = 0;
+        self.disabled_lines = 0;
     }
 }
 
@@ -496,6 +536,36 @@ mod tests {
         c.disable_random_lines(8, &mut rng); // everything
         assert_eq!(c.fill(0), Err(()));
         assert!(!c.access(0));
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut used = tiny();
+        let mut rng = SimRng::seed_from(3);
+        used.disable_random_lines(2, &mut rng);
+        for line in 0..12u64 {
+            if !used.access(line) {
+                let _ = used.fill(line);
+            }
+        }
+        used.reset();
+        assert_eq!(used, tiny());
+        assert_eq!(used.disabled_lines(), 0);
+        assert_eq!(used.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn too_many_ways_rejected() {
+        let cfg = CacheConfig {
+            size_bytes: 32 * 64 * 2,
+            ways: 32,
+            line_bytes: 64,
+            policy: Policy::Lru,
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(CacheConfigError::TooManyWays { ways: 32 })
+        );
     }
 
     #[test]

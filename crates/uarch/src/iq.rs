@@ -161,6 +161,16 @@ impl<T> InstQueue<T> {
         self.head = self.tail;
     }
 
+    /// Restores the freshly-constructed state in place: empty queue *and*
+    /// head/tail counters rewound (unlike [`InstQueue::flush`], which
+    /// keeps the monotone counters running). Capacity is retained, so no
+    /// allocation.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.head = 0;
+        self.tail = 0;
+    }
+
     /// Injects `count` drain entries (the paper's NOOP injection: when the
     /// pipeline must empty, `AI·N` NOOPs are allocated so every real
     /// instruction can clear the occupancy gate).

@@ -114,6 +114,14 @@ impl PortSet {
     pub fn earliest_free(&self) -> u64 {
         self.ports.iter().map(Port::free_at).min().unwrap_or(0)
     }
+
+    /// Restores the freshly-constructed state in place: every port free
+    /// with zeroed grant/conflict counters. No allocation.
+    pub fn reset(&mut self) {
+        for p in &mut self.ports {
+            *p = Port::new();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub struct PolicyState {
     policy: Policy,
     cursors: Vec<usize>,
     rng: SimRng,
+    seed: u64,
 }
 
 impl PolicyState {
@@ -40,6 +41,7 @@ impl PolicyState {
             policy,
             cursors: vec![0; sets],
             rng: SimRng::seed_from(seed),
+            seed,
         }
     }
 
@@ -49,37 +51,60 @@ impl PolicyState {
         self.policy
     }
 
+    /// Restores the freshly-constructed state in place: cursors rewound,
+    /// RNG reseeded from the construction seed. No allocation.
+    pub fn reset(&mut self) {
+        self.cursors.fill(0);
+        self.rng = SimRng::seed_from(self.seed);
+    }
+
     /// Picks the victim way for a fill into `set`.
     ///
     /// Invalid enabled ways are always preferred; among valid ways the
     /// policy decides. Returns `None` when every way is disabled.
+    ///
+    /// Allocation-free: candidate enumeration walks `ways` directly
+    /// (fills run every cycle in miss-heavy phases, so this sits on the
+    /// simulator's steady-state hot path).
     pub fn select_victim(&mut self, set: usize, ways: &[WayView]) -> Option<usize> {
         // Free way first.
         if let Some(idx) = ways.iter().position(|w| !w.disabled && !w.valid) {
             return Some(idx);
         }
-        let candidates: Vec<usize> = ways
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| !w.disabled)
-            .map(|(i, _)| i)
-            .collect();
-        if candidates.is_empty() {
+        let enabled = ways.iter().filter(|w| !w.disabled).count();
+        if enabled == 0 {
             return None;
         }
+        // The k-th enabled way, in way order — the same indexing the old
+        // materialized candidate list gave.
+        let nth_enabled = |k: usize| -> usize {
+            ways.iter()
+                .enumerate()
+                .filter(|(_, w)| !w.disabled)
+                .nth(k)
+                .map(|(i, _)| i)
+                .expect("k < enabled count")
+        };
         let pick = match self.policy {
-            Policy::Lru => candidates
-                .iter()
-                .copied()
-                .min_by_key(|&i| ways[i].last_use)
-                .expect("candidates non-empty"),
+            Policy::Lru => {
+                // First-minimal over enabled ways (min_by_key semantics).
+                let mut best = usize::MAX;
+                let mut best_use = u64::MAX;
+                for (i, w) in ways.iter().enumerate() {
+                    if !w.disabled && (best == usize::MAX || w.last_use < best_use) {
+                        best = i;
+                        best_use = w.last_use;
+                    }
+                }
+                best
+            }
             Policy::RoundRobin => {
                 let cursor = &mut self.cursors[set];
-                let pick = candidates[*cursor % candidates.len()];
-                *cursor = (*cursor + 1) % candidates.len();
+                let pick = nth_enabled(*cursor % enabled);
+                *cursor = (*cursor + 1) % enabled;
                 pick
             }
-            Policy::Random => candidates[self.rng.below(candidates.len() as u64) as usize],
+            Policy::Random => nth_enabled(self.rng.below(enabled as u64) as usize),
         };
         Some(pick)
     }
@@ -144,6 +169,83 @@ mod tests {
         assert_eq!(picks, vec![0, 1, 2, 0]);
         // Set 1 has an independent cursor.
         assert_eq!(st.select_victim(1, &ways), Some(0));
+    }
+
+    /// The pre-rewrite selector, kept verbatim as the behavioral oracle
+    /// for the allocation-free version.
+    fn reference_select(
+        policy: Policy,
+        cursor: &mut usize,
+        rng: &mut SimRng,
+        ways: &[WayView],
+    ) -> Option<usize> {
+        if let Some(idx) = ways.iter().position(|w| !w.disabled && !w.valid) {
+            return Some(idx);
+        }
+        let candidates: Vec<usize> = ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.disabled)
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(match policy {
+            Policy::Lru => candidates
+                .iter()
+                .copied()
+                .min_by_key(|&i| ways[i].last_use)
+                .unwrap(),
+            Policy::RoundRobin => {
+                let pick = candidates[*cursor % candidates.len()];
+                *cursor = (*cursor + 1) % candidates.len();
+                pick
+            }
+            Policy::Random => candidates[rng.below(candidates.len() as u64) as usize],
+        })
+    }
+
+    #[test]
+    fn allocation_free_selector_matches_reference() {
+        for policy in [Policy::Lru, Policy::RoundRobin, Policy::Random] {
+            let mut st = PolicyState::new(policy, 1, 42);
+            let mut ref_cursor = 0usize;
+            let mut ref_rng = SimRng::seed_from(42);
+            let mut pattern_rng = SimRng::seed_from(7);
+            for round in 0..500 {
+                let ways: Vec<WayView> = (0..8)
+                    .map(|_| WayView {
+                        valid: pattern_rng.below(4) != 0,
+                        disabled: pattern_rng.below(5) == 0,
+                        last_use: pattern_rng.below(64),
+                    })
+                    .collect();
+                assert_eq!(
+                    st.select_victim(0, &ways),
+                    reference_select(policy, &mut ref_cursor, &mut ref_rng, &ways),
+                    "{policy:?} diverged at round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_rewinds_cursors_and_rng() {
+        let ways = [
+            way(true, false, 0),
+            way(true, false, 0),
+            way(true, false, 0),
+        ];
+        for policy in [Policy::RoundRobin, Policy::Random] {
+            let mut st = PolicyState::new(policy, 2, 9);
+            let first: Vec<_> = (0..6).map(|_| st.select_victim(0, &ways)).collect();
+            st.reset();
+            let second: Vec<_> = (0..6).map(|_| st.select_victim(0, &ways)).collect();
+            assert_eq!(first, second, "{policy:?}");
+            st.reset();
+            assert_eq!(st, PolicyState::new(policy, 2, 9));
+        }
     }
 
     #[test]

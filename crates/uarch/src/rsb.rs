@@ -129,6 +129,20 @@ impl ReturnStack {
         self.live = 0;
         self.top = 0;
     }
+
+    /// Restores the freshly-constructed state in place for a window of
+    /// `n` cycles: contents, depth and every counter (unlike
+    /// [`ReturnStack::clear`], which keeps the statistics). No allocation.
+    pub fn reset(&mut self, n: u32) {
+        self.slots.fill((0, 0));
+        self.top = 0;
+        self.live = 0;
+        self.window = u64::from(n);
+        self.pops = 0;
+        self.potential_corruptions = 0;
+        self.overflows = 0;
+        self.underflows = 0;
+    }
 }
 
 #[cfg(test)]

@@ -265,6 +265,19 @@ impl Scoreboard {
             };
         }
     }
+
+    /// Restores the freshly-constructed state in place: all registers
+    /// ready *and* the clock rewound to zero (unlike [`Scoreboard::flush`],
+    /// which keeps the current cycle). No allocation.
+    pub fn reset(&mut self) {
+        for r in &mut self.regs {
+            *r = ShiftReg {
+                bits: self.mask,
+                written_at: 0,
+            };
+        }
+        self.now = 0;
+    }
 }
 
 #[cfg(test)]

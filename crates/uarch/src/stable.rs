@@ -245,6 +245,17 @@ impl StoreTable {
         self.cursor = 0;
     }
 
+    /// Restores the freshly-constructed state in place: entries, cursor,
+    /// age stamps and statistics (unlike [`StoreTable::clear`], which
+    /// keeps ages and stats). All physical entries re-enable; call
+    /// [`StoreTable::reconfigure`] afterwards for the target Vcc.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.enabled = self.slots.len();
+        self.next_age = 0;
+        self.stats = StableStats::default();
+    }
+
     /// Cumulative statistics.
     #[must_use]
     pub fn stats(&self) -> StableStats {

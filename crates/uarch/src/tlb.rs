@@ -140,6 +140,16 @@ impl Tlb {
         }
     }
 
+    /// Restores the freshly-constructed state in place: translations,
+    /// MRU slot, clock and statistics (unlike [`Tlb::flush`], which only
+    /// drops translations). No allocation.
+    pub fn reset(&mut self) {
+        self.flush();
+        self.mru = 0;
+        self.clock = 0;
+        self.stats = TlbStats::default();
+    }
+
     /// Cumulative statistics.
     #[must_use]
     pub fn stats(&self) -> TlbStats {
