@@ -222,14 +222,29 @@ fn main() -> ExitCode {
             eprintln!("CSV files written under {}", cli.out.display());
             if let Some(store) = &cli.store {
                 let s = store.stats();
-                let disk = match store.disk_entries() {
-                    Ok(n) => n.to_string(),
-                    Err(_) => "?".to_string(),
-                };
                 eprintln!(
                     "cache: {} hits, {} misses ({} simulated), {} entries on disk",
-                    s.hits, s.misses, s.misses, disk
+                    s.hits,
+                    s.misses,
+                    s.misses,
+                    store.disk_entries()
                 );
+                if s.quarantined + s.retries + s.write_failures + s.orphans_swept > 0 || s.degraded
+                {
+                    eprintln!(
+                        "cache health: {} quarantined, {} retries, {} write failures, \
+                         {} orphans swept{}",
+                        s.quarantined,
+                        s.retries,
+                        s.write_failures,
+                        s.orphans_swept,
+                        if s.degraded {
+                            " — DEGRADED (memory-only)"
+                        } else {
+                            ""
+                        }
+                    );
+                }
             }
             if let Some(path) = cli.json {
                 let doc = summary.to_json(&cli.ctx.suite_label, cli.ctx.total_uops(), cli.jobs);

@@ -215,8 +215,11 @@ impl ExperimentContext {
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures and typed cache failures (corrupt
-    /// entries are surfaced, never silently re-simulated).
+    /// Propagates simulation failures. The cache itself never errors a
+    /// run: corrupt or unreadable entries are quarantined and
+    /// re-simulated, and publish failures degrade the store to
+    /// memory-only (see `store.rs`) — so output stays byte-identical
+    /// even on a failing disk.
     ///
     /// # Panics
     ///
@@ -241,7 +244,7 @@ impl ExperimentContext {
             let mut leaders: Vec<(usize, FlightGuard<'_>)> = Vec::new();
             let mut pending: Vec<(usize, FlightWaiter)> = Vec::new();
             for &i in &unresolved {
-                match store.lookup(sim_key(cfg, &self.specs[i]))? {
+                match store.lookup(sim_key(cfg, &self.specs[i])) {
                     Flight::Hit(result) => slots[i] = Some((self.suite[i].name.clone(), *result)),
                     Flight::Lead(guard) => leaders.push((i, guard)),
                     Flight::Pending(waiter) => pending.push((i, waiter)),
@@ -254,7 +257,7 @@ impl ExperimentContext {
                 // waiter to re-arbitrate; the error propagates here.
                 let fresh = run_suite_with(cfg, &refs, self.parallelism)?;
                 for ((i, guard), (name, result)) in leaders.into_iter().zip(fresh.per_trace) {
-                    store.put(sim_key(cfg, &self.specs[i]), &result)?;
+                    store.put(sim_key(cfg, &self.specs[i]), &result);
                     drop(guard); // publish: retires the flight, wakes waiters
                     slots[i] = Some((name, result));
                 }
@@ -293,7 +296,8 @@ impl ExperimentContext {
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures and typed cache failures.
+    /// Propagates simulation failures (the cache never errors a run —
+    /// see [`Self::run_suite`]).
     ///
     /// # Panics
     ///
@@ -326,7 +330,7 @@ impl ExperimentContext {
             let mut leaders: Vec<(usize, usize, FlightGuard<'_>)> = Vec::new();
             let mut pending: Vec<(usize, usize, FlightWaiter)> = Vec::new();
             for &(t, c) in &unresolved {
-                match store.lookup(sim_key(&cfgs[c], &self.specs[t]))? {
+                match store.lookup(sim_key(&cfgs[c], &self.specs[t])) {
                     Flight::Hit(result) => {
                         slots[c][t] = Some((self.suite[t].name.clone(), *result));
                     }
@@ -357,7 +361,7 @@ impl ExperimentContext {
                 let fresh = run_batch_groups(&groups, &self.suite, self.parallelism)?;
                 let results = fresh.into_iter().flatten();
                 for ((t, c, guard), result) in leaders.into_iter().zip(results) {
-                    store.put(sim_key(&cfgs[c], &self.specs[t]), &result)?;
+                    store.put(sim_key(&cfgs[c], &self.specs[t]), &result);
                     drop(guard); // publish: retires the flight, wakes waiters
                     slots[c][t] = Some((self.suite[t].name.clone(), result));
                 }
@@ -389,7 +393,7 @@ impl ExperimentContext {
     ///
     /// # Errors
     ///
-    /// Propagates simulation and cache failures.
+    /// Propagates simulation failures.
     pub fn compare_mechanisms(
         &self,
         vcc: Millivolts,

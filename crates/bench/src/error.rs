@@ -35,7 +35,10 @@ pub enum ExperimentError {
         /// The absent voltage in millivolts.
         mv: u32,
     },
-    /// The result cache failed (I/O or a corrupt record).
+    /// The result cache failed to *open* or an admin operation (scrub,
+    /// vacuum) failed. Lookups and publishes never produce this:
+    /// corrupt or unreadable records are quarantined and re-simulated,
+    /// failed publishes degrade the store to memory-only (DESIGN.md §9).
     Store(StoreError),
 }
 

@@ -24,16 +24,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod context;
 pub mod error;
 pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod store;
+pub mod store_io;
 pub mod trajectory;
 
+pub use admin::{QuarantineEntry, ScrubReport, StoreSummary, VacuumReport};
 pub use context::{ExperimentContext, SuiteChoice};
 pub use error::ExperimentError;
 pub use report::TextTable;
-pub use store::{Flight, FlightGuard, FlightWaiter, ResultStore, StoreError, StoreStats};
+pub use store::{
+    Flight, FlightGuard, FlightWaiter, ResultStore, StoreError, StoreStats, QUARANTINE_DIR,
+};
+pub use store_io::{FaultCounts, FaultKind, FaultPlan, FaultyIo, RealIo, RetryPolicy, StoreIo};
 pub use trajectory::{FamilyThroughput, TrajectoryEntry, TRAJECTORY_SCHEMA};

@@ -8,15 +8,31 @@
 //!   queue) so hot keys — a daemon's popular operating points — never
 //!   touch the filesystem;
 //! * an optional **sharded on-disk map**: `root/<first-2-hex>/<32-hex>.sim`,
-//!   written via tempfile + atomic rename so concurrent writers and
-//!   crashes can never publish a torn record. Corrupt or foreign bytes
-//!   surface a typed [`StoreError::Corrupt`] (never garbage stats —
-//!   every record carries a checksum).
+//!   written via fsynced tempfile + atomic rename + directory fsync so
+//!   concurrent writers, crashes and power loss can never publish a torn
+//!   record (every record carries a checksum).
 //!
 //! Invalidation is by construction: the engine-semantics version is
 //! hashed into every key *and* embedded in every record, so results from
 //! an older engine simply miss (and fail closed if a record is somehow
 //! reached through a colliding path).
+//!
+//! **The disk is an optimization, never a dependency.** Every byte of
+//! disk I/O goes through the [`StoreIo`] seam (injectable for chaos
+//! tests), and the lookup/publish paths are *infallible*:
+//!
+//! * a read failure — corrupt bytes, checksum mismatch, EIO — moves the
+//!   offending record into a `quarantine/` sibling directory (counted in
+//!   [`StoreStats::quarantined`]) and reports a miss, so the caller
+//!   falls back to deterministic re-simulation instead of erroring;
+//! * a publish failure retries with bounded exponential backoff and
+//!   deterministic jitter ([`RetryPolicy`]); if every attempt fails the
+//!   store latches **degraded** (memory-only) mode — experiments still
+//!   complete, the daemon keeps answering, and the condition is visible
+//!   in [`StoreStats::degraded`].
+//!
+//! [`StoreError`] remains only for operations where failing is the right
+//! answer: opening a store and the admin/scrub surface (`lowvcc-store`).
 //!
 //! For concurrent callers (the `lowvcc-serve` worker pool, parallel
 //! `experiments` runs sharing one store) there is a **single-flight**
@@ -33,10 +49,16 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
+use lowvcc_core::canon::fnv1a_64;
 use lowvcc_core::{decode_sim_result, encode_sim_result, CanonError, SimKey, SimResult};
+
+use crate::store_io::{RealIo, RetryPolicy, StoreIo};
+
+/// Name of the sibling directory quarantined records are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Failure inside the result store.
 #[derive(Debug)]
@@ -108,6 +130,18 @@ pub struct StoreStats {
     /// and waited for its result instead of re-simulating (the
     /// single-flight layer at work).
     pub coalesced: u64,
+    /// Records moved to `quarantine/` after a failed read or decode
+    /// (each one became a miss and a re-simulation, not an error).
+    pub quarantined: u64,
+    /// Publish attempts beyond the first (the backoff loop at work).
+    pub retries: u64,
+    /// Publishes abandoned after exhausting every retry.
+    pub write_failures: u64,
+    /// Stale `*.tmp.*` publish leftovers removed at startup.
+    pub orphans_swept: u64,
+    /// Whether the store has latched memory-only (degraded) mode after a
+    /// publish exhausted its retries. Sticky until restart.
+    pub degraded: bool,
 }
 
 thread_local! {
@@ -284,7 +318,9 @@ impl Lru {
 /// The layered key→result store. Cheap to share behind an `Arc`; all
 /// methods take `&self`.
 pub struct ResultStore {
-    dir: Option<PathBuf>,
+    pub(crate) dir: Option<PathBuf>,
+    pub(crate) io: Arc<dyn StoreIo>,
+    retry: RetryPolicy,
     lru: Mutex<Lru>,
     inflight: Mutex<HashMap<SimKey, Arc<FlightState>>>,
     hits: AtomicU64,
@@ -292,6 +328,11 @@ pub struct ResultStore {
     stores: AtomicU64,
     simulated_uops: AtomicU64,
     coalesced: AtomicU64,
+    pub(crate) quarantined: AtomicU64,
+    retries: AtomicU64,
+    write_failures: AtomicU64,
+    pub(crate) orphans_swept: AtomicU64,
+    degraded: AtomicBool,
 }
 
 impl fmt::Debug for ResultStore {
@@ -310,18 +351,40 @@ impl fmt::Debug for ResultStore {
 const DEFAULT_LRU_CAPACITY: usize = 4096;
 
 impl ResultStore {
-    /// Opens (creating if necessary) an on-disk store rooted at `dir`.
+    /// Opens (creating if necessary) an on-disk store rooted at `dir`,
+    /// using the real filesystem and the default [`RetryPolicy`].
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] if the root cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with(dir, Arc::new(RealIo), RetryPolicy::default())
+    }
+
+    /// Opens an on-disk store over an explicit [`StoreIo`] (chaos tests
+    /// inject faults here) and [`RetryPolicy`]. Sweeps orphaned `*.tmp.*`
+    /// publish leftovers from the shard directories before returning,
+    /// counting them in [`StoreStats::orphans_swept`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the root cannot be created.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        io: Arc<dyn StoreIo>,
+        retry: RetryPolicy,
+    ) -> Result<Self, StoreError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(StoreError::io_at(&dir))?;
-        Ok(Self {
+        io.create_dir_all(&dir).map_err(StoreError::io_at(&dir))?;
+        let swept = sweep_orphan_tmps(io.as_ref(), &dir);
+        let store = Self {
             dir: Some(dir),
+            io,
+            retry,
             ..Self::ephemeral()
-        })
+        };
+        store.orphans_swept.store(swept, Ordering::Relaxed);
+        Ok(store)
     }
 
     /// An in-memory-only store (no persistence): the LRU layer alone.
@@ -329,6 +392,8 @@ impl ResultStore {
     pub fn ephemeral() -> Self {
         Self {
             dir: None,
+            io: Arc::new(RealIo),
+            retry: RetryPolicy::default(),
             lru: Mutex::new(Lru::new(DEFAULT_LRU_CAPACITY)),
             inflight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
@@ -336,6 +401,11 @@ impl ResultStore {
             stores: AtomicU64::new(0),
             simulated_uops: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
+            orphans_swept: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
         }
     }
 
@@ -363,7 +433,18 @@ impl ResultStore {
             stores: self.stores.load(Ordering::Relaxed),
             simulated_uops: self.simulated_uops.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+            orphans_swept: self.orphans_swept.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether the store has latched memory-only (degraded) mode.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// Misses recorded by the *calling thread* (against any store),
@@ -394,45 +475,71 @@ impl ResultStore {
             .map(|d| d.join(&hex[..2]).join(format!("{hex}.sim")))
     }
 
-    /// Counter-free lookup: LRU first, then disk (promoting a disk hit
-    /// into the LRU).
-    fn probe(&self, key: SimKey) -> Result<Option<SimResult>, StoreError> {
-        if let Some(hit) = lock(&self.lru).get(key) {
-            return Ok(Some(hit));
+    /// Moves a record that failed to read or decode into the
+    /// `quarantine/` sibling directory (falling back to deletion if even
+    /// the rename fails), so the next lookup of its key is a clean miss
+    /// that re-simulates and re-publishes. Never fails: quarantine is
+    /// the degradation path, not another error source.
+    pub(crate) fn quarantine(&self, path: &Path, why: &str) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let moved = self.dir.as_ref().and_then(|dir| {
+            let qdir = dir.join(QUARANTINE_DIR);
+            let dest = qdir.join(path.file_name()?);
+            self.io
+                .create_dir_all(&qdir)
+                .and_then(|()| self.io.rename(path, &dest))
+                .ok()
+        });
+        if moved.is_none() {
+            // Condemn in place: a record we can neither trust nor move
+            // aside must not be read again.
+            let _ = self.io.remove_file(path);
         }
-        let Some(path) = self.entry_path(key) else {
-            return Ok(None);
-        };
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(StoreError::io_at(&path)(e)),
-        };
-        let result = decode_sim_result(&bytes).map_err(|source| StoreError::Corrupt {
-            path: path.clone(),
-            source,
-        })?;
-        lock(&self.lru).insert(key, result.clone());
-        Ok(Some(result))
+        eprintln!("lowvcc-store: quarantined {}: {why}", path.display());
     }
 
-    /// Looks `key` up: LRU first, then disk.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::Corrupt`] if a record exists but fails validation —
-    /// deliberately *not* treated as a miss, so silent data loss is
-    /// surfaced to the operator instead of papered over by re-simulation.
-    /// [`StoreError::Io`] on filesystem failures other than not-found.
-    pub fn get(&self, key: SimKey) -> Result<Option<SimResult>, StoreError> {
-        match self.probe(key)? {
+    /// Counter-free lookup: LRU first, then disk (promoting a disk hit
+    /// into the LRU). Infallible — a record that cannot be read or
+    /// decoded is quarantined and reported as a miss.
+    fn probe(&self, key: SimKey) -> Option<SimResult> {
+        if let Some(hit) = lock(&self.lru).get(key) {
+            return Some(hit);
+        }
+        let path = self.entry_path(key)?;
+        let bytes = match self.io.read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                self.quarantine(&path, &format!("read failed: {e}"));
+                return None;
+            }
+        };
+        match decode_sim_result(&bytes) {
+            Ok(result) => {
+                lock(&self.lru).insert(key, result.clone());
+                Some(result)
+            }
+            Err(e) => {
+                self.quarantine(&path, &format!("decode failed: {e}"));
+                None
+            }
+        }
+    }
+
+    /// Looks `key` up: LRU first, then disk. Infallible: corrupt or
+    /// unreadable records are quarantined (see
+    /// [`StoreStats::quarantined`]) and reported as misses, so the
+    /// caller re-simulates — the engine is deterministic, so the healed
+    /// record is byte-identical to what was lost.
+    pub fn get(&self, key: SimKey) -> Option<SimResult> {
+        match self.probe(key) {
             Some(hit) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Ok(Some(hit))
+                Some(hit)
             }
             None => {
                 self.count_miss();
-                Ok(None)
+                None
             }
         }
     }
@@ -451,20 +558,19 @@ impl ResultStore {
     /// hit) — so N identical concurrent cold queries report 1 miss and
     /// N−1 hits/waits.
     ///
-    /// # Errors
-    ///
-    /// Same as [`get`](Self::get).
-    pub fn lookup(&self, key: SimKey) -> Result<Flight<'_>, StoreError> {
-        if let Some(hit) = self.probe(key)? {
+    /// Infallible like [`get`](Self::get): store trouble degrades to a
+    /// miss (and a `Lead`), never to an error.
+    pub fn lookup(&self, key: SimKey) -> Flight<'_> {
+        if let Some(hit) = self.probe(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Flight::Hit(Box::new(hit)));
+            return Flight::Hit(Box::new(hit));
         }
         let mut inflight = lock(&self.inflight);
         if let Some(state) = inflight.get(&key) {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
-            return Ok(Flight::Pending(FlightWaiter {
+            return Flight::Pending(FlightWaiter {
                 state: Arc::clone(state),
-            }));
+            });
         }
         // Re-probe under the in-flight lock: an in-process leader
         // publishes into the LRU (in `put`) *before* its guard takes
@@ -476,7 +582,7 @@ impl ResultStore {
         // probe) merely costs one deterministic re-simulation.
         if let Some(hit) = lock(&self.lru).get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Flight::Hit(Box::new(hit)));
+            return Flight::Hit(Box::new(hit));
         }
         let state = Arc::new(FlightState {
             done: Mutex::new(false),
@@ -485,72 +591,140 @@ impl ResultStore {
         inflight.insert(key, Arc::clone(&state));
         drop(inflight);
         self.count_miss();
-        Ok(Flight::Lead(FlightGuard {
+        Flight::Lead(FlightGuard {
             store: self,
             key,
             state,
-        }))
+        })
     }
 
-    /// Inserts `result` under `key` (memory + disk when persistent).
-    ///
-    /// The disk write goes to a tempfile in the shard directory and is
-    /// published with an atomic rename: a reader either sees the full
-    /// checksummed record or nothing.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::Io`] on filesystem failures.
-    pub fn put(&self, key: SimKey, result: &SimResult) -> Result<(), StoreError> {
-        lock(&self.lru).insert(key, result.clone());
-        self.stores.fetch_add(1, Ordering::Relaxed);
-        let Some(path) = self.entry_path(key) else {
-            return Ok(());
-        };
+    /// One publish attempt: fsynced tempfile, atomic rename, directory
+    /// fsync — all through the [`StoreIo`] seam.
+    fn try_publish(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         let shard = path.parent().expect("entry paths have shard parents");
-        fs::create_dir_all(shard).map_err(StoreError::io_at(shard))?;
+        self.io.create_dir_all(shard)?;
         // Unique per process *and* per call, so concurrent writers of the
         // same key never share a tempfile.
         static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let tmp = shard.join(format!(
             ".{}.tmp.{}.{}",
-            key.to_hex(),
+            path.file_stem().and_then(|s| s.to_str()).unwrap_or("entry"),
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        let bytes = encode_sim_result(result);
-        fs::write(&tmp, &bytes).map_err(StoreError::io_at(&tmp))?;
-        fs::rename(&tmp, &path).map_err(|e| {
-            let _ = fs::remove_file(&tmp);
-            StoreError::io_at(&path)(e)
+        self.io.write_sync(&tmp, bytes).inspect_err(|_| {
+            let _ = self.io.remove_file(&tmp);
         })?;
-        Ok(())
+        self.io.rename(&tmp, path).inspect_err(|_| {
+            let _ = self.io.remove_file(&tmp);
+        })?;
+        self.io.sync_dir(shard)
     }
 
-    /// Number of records currently on disk (0 for ephemeral stores).
-    /// Walks the shard directories; intended for reporting, not hot
-    /// paths.
+    /// Inserts `result` under `key`: always into memory, and onto disk
+    /// when persistent and not degraded.
     ///
-    /// # Errors
-    ///
-    /// [`StoreError::Io`] if the root cannot be listed.
-    pub fn disk_entries(&self) -> Result<u64, StoreError> {
-        let Some(dir) = &self.dir else { return Ok(0) };
+    /// The disk write goes to an fsynced tempfile in the shard directory,
+    /// is published with an atomic rename, and the shard directory is
+    /// fsynced after — a reader either sees the full checksummed record
+    /// or nothing, even across power loss. Publish failures are retried
+    /// per this store's [`RetryPolicy`] (bounded exponential backoff,
+    /// deterministic per-key jitter); exhausting every attempt latches
+    /// degraded (memory-only) mode rather than failing the caller.
+    pub fn put(&self, key: SimKey, result: &SimResult) {
+        lock(&self.lru).insert(key, result.clone());
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let bytes = encode_sim_result(result);
+        let salt = fnv1a_64(key.to_hex().as_bytes());
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = self.retry.delay(attempt, salt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            match self.try_publish(&path, &bytes) {
+                Ok(()) => return,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        self.write_failures.fetch_add(1, Ordering::Relaxed);
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "lowvcc-store: publish of {} failed after {} attempts ({}); \
+                 degrading to memory-only operation",
+                path.display(),
+                self.retry.attempts.max(1),
+                last_err.map_or_else(|| "unknown error".into(), |e| e.to_string()),
+            );
+        }
+    }
+
+    /// Number of records currently on disk (0 for ephemeral stores,
+    /// quarantined records excluded). Walks the shard directories;
+    /// best-effort — an unlistable directory counts as empty. Intended
+    /// for reporting, not hot paths.
+    #[must_use]
+    pub fn disk_entries(&self) -> u64 {
+        let Some(dir) = &self.dir else { return 0 };
+        let Ok(shards) = fs::read_dir(dir) else {
+            return 0;
+        };
         let mut n = 0;
-        for shard in fs::read_dir(dir).map_err(StoreError::io_at(dir))? {
-            let shard = shard.map_err(StoreError::io_at(dir))?.path();
-            if !shard.is_dir() {
+        for shard in shards.flatten() {
+            let shard = shard.path();
+            if !shard.is_dir() || shard.file_name().is_some_and(|f| f == QUARANTINE_DIR) {
                 continue;
             }
-            for entry in fs::read_dir(&shard).map_err(StoreError::io_at(&shard))? {
-                let p = entry.map_err(StoreError::io_at(&shard))?.path();
-                if p.extension().is_some_and(|e| e == "sim") {
+            let Ok(entries) = fs::read_dir(&shard) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                if entry.path().extension().is_some_and(|e| e == "sim") {
                     n += 1;
                 }
             }
         }
-        Ok(n)
+        n
     }
+}
+
+/// Removes `*.tmp.*` leftovers a killed process abandoned mid-publish
+/// from every shard directory (quarantine excluded). Best-effort by
+/// design — startup must succeed on a half-broken disk.
+fn sweep_orphan_tmps(io: &dyn StoreIo, dir: &Path) -> u64 {
+    let Ok(shards) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for shard in shards.flatten() {
+        let shard = shard.path();
+        if !shard.is_dir() || shard.file_name().is_some_and(|f| f == QUARANTINE_DIR) {
+            continue;
+        }
+        let Ok(entries) = fs::read_dir(&shard) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            let is_tmp = p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".tmp."));
+            if is_tmp && io.remove_file(&p).is_ok() {
+                swept += 1;
+            }
+        }
+    }
+    swept
 }
 
 #[cfg(test)]
@@ -588,16 +762,16 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let (key, result) = run_one();
         let store = ResultStore::open(&dir).unwrap();
-        assert_eq!(store.get(key).unwrap(), None);
-        store.put(key, &result).unwrap();
-        assert_eq!(store.get(key).unwrap(), Some(result.clone()));
+        assert_eq!(store.get(key), None);
+        store.put(key, &result);
+        assert_eq!(store.get(key), Some(result.clone()));
 
         // A fresh store over the same directory reads it from disk.
         let cold = ResultStore::open(&dir).unwrap();
-        assert_eq!(cold.get(key).unwrap(), Some(result));
+        assert_eq!(cold.get(key), Some(result));
         assert_eq!(cold.stats().hits, 1);
         assert_eq!(cold.stats().misses, 0);
-        assert_eq!(cold.disk_entries().unwrap(), 1);
+        assert_eq!(cold.disk_entries(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -605,22 +779,23 @@ mod tests {
     fn ephemeral_store_caches_in_memory_only() {
         let (key, result) = run_one();
         let store = ResultStore::ephemeral();
-        assert_eq!(store.get(key).unwrap(), None);
-        store.put(key, &result).unwrap();
-        assert_eq!(store.get(key).unwrap(), Some(result));
+        assert_eq!(store.get(key), None);
+        store.put(key, &result);
+        assert_eq!(store.get(key), Some(result));
         assert_eq!(store.dir(), None);
-        assert_eq!(store.disk_entries().unwrap(), 0);
+        assert_eq!(store.disk_entries(), 0);
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+        assert!(!s.degraded);
     }
 
     #[test]
-    fn corrupt_entries_surface_typed_errors() {
+    fn corrupt_entries_quarantine_and_self_heal() {
         let dir = tmpdir("corrupt");
         let (key, result) = run_one();
         {
             let store = ResultStore::open(&dir).unwrap();
-            store.put(key, &result).unwrap();
+            store.put(key, &result);
         }
         // Flip one payload byte on disk.
         let hex = key.to_hex();
@@ -630,10 +805,23 @@ mod tests {
         bytes[mid] ^= 0x01;
         fs::write(&path, &bytes).unwrap();
 
+        // The corrupt record reads as a miss, is moved to quarantine/,
+        // and the key is free to be re-simulated and re-published.
         let store = ResultStore::open(&dir).unwrap();
-        let err = store.get(key).unwrap_err();
-        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
-        assert!(err.to_string().contains("corrupt store entry"));
+        assert_eq!(store.get(key), None);
+        assert_eq!(store.stats().quarantined, 1);
+        assert_eq!(store.stats().misses, 1);
+        assert!(!path.exists(), "corrupt record must leave the shard");
+        assert!(
+            dir.join(QUARANTINE_DIR).join(format!("{hex}.sim")).exists(),
+            "corrupt record must land in quarantine/"
+        );
+        assert_eq!(store.disk_entries(), 0, "quarantine is not an entry");
+
+        // Self-heal: publish again, and a cold reopen sees a good record.
+        store.put(key, &result);
+        let cold = ResultStore::open(&dir).unwrap();
+        assert_eq!(cold.get(key), Some(result));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -653,12 +841,12 @@ mod tests {
             .collect();
         let _ = key;
         for &k in &keys {
-            store.put(k, &result).unwrap();
+            store.put(k, &result);
         }
         // Capacity 2: the first key fell out, the last two stayed.
-        assert_eq!(store.get(keys[0]).unwrap(), None);
-        assert!(store.get(keys[1]).unwrap().is_some());
-        assert!(store.get(keys[2]).unwrap().is_some());
+        assert_eq!(store.get(keys[0]), None);
+        assert!(store.get(keys[1]).is_some());
+        assert!(store.get(keys[2]).is_some());
     }
 
     #[test]
@@ -683,7 +871,7 @@ mod tests {
     fn poisoned_lru_lock_recovers_instead_of_cascading() {
         let (key, result) = run_one();
         let store = ResultStore::ephemeral();
-        store.put(key, &result).unwrap();
+        store.put(key, &result);
         // Poison the inner mutex: panic while holding the guard (the
         // same poisoning a worker-thread panic mid-operation causes).
         let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -694,9 +882,9 @@ mod tests {
         assert!(store.lru.lock().is_err(), "lock really is poisoned");
         // Every path over the lock must keep working: the Lru holds
         // only cache state, so it is recovered, not propagated.
-        assert_eq!(store.get(key).unwrap(), Some(result.clone()));
-        store.put(key, &result).unwrap();
-        assert!(matches!(store.lookup(key).unwrap(), Flight::Hit(_)));
+        assert_eq!(store.get(key), Some(result.clone()));
+        store.put(key, &result);
+        assert!(matches!(store.lookup(key), Flight::Hit(_)));
     }
 
     #[test]
@@ -711,7 +899,7 @@ mod tests {
                 s.spawn(|| {
                     barrier.wait();
                     loop {
-                        match store.lookup(key).unwrap() {
+                        match store.lookup(key) {
                             Flight::Hit(r) => {
                                 assert_eq!(*r, result);
                                 break;
@@ -721,7 +909,7 @@ mod tests {
                                 // Hold the flight open long enough that
                                 // every other thread must coalesce.
                                 std::thread::sleep(std::time::Duration::from_millis(100));
-                                store.put(key, &result).unwrap();
+                                store.put(key, &result);
                                 drop(guard);
                                 break;
                             }
@@ -742,15 +930,15 @@ mod tests {
     fn abandoned_flight_hands_leadership_to_a_waiter() {
         let (key, result) = run_one();
         let store = ResultStore::ephemeral();
-        let Flight::Lead(first) = store.lookup(key).unwrap() else {
+        let Flight::Lead(first) = store.lookup(key) else {
             panic!("cold lookup must lead");
         };
         std::thread::scope(|s| {
             let worker = s.spawn(|| loop {
-                match store.lookup(key).unwrap() {
+                match store.lookup(key) {
                     Flight::Hit(r) => break *r,
                     Flight::Lead(guard) => {
-                        store.put(key, &result).unwrap();
+                        store.put(key, &result);
                         drop(guard);
                     }
                     Flight::Pending(waiter) => waiter.wait(),
@@ -763,7 +951,7 @@ mod tests {
             assert_eq!(worker.join().unwrap(), result);
         });
         assert_eq!(store.stats().misses, 2, "both leadership claims count");
-        assert_eq!(store.get(key).unwrap(), Some(result));
+        assert_eq!(store.get(key), Some(result));
     }
 
     #[test]
@@ -773,7 +961,7 @@ mod tests {
         let before = ResultStore::thread_misses();
         std::thread::scope(|s| {
             s.spawn(|| {
-                assert_eq!(store.get(key).unwrap(), None);
+                assert_eq!(store.get(key), None);
             });
         });
         assert_eq!(store.stats().misses, 1, "global counter sees the miss");
@@ -782,7 +970,7 @@ mod tests {
             before,
             "another thread's miss must not leak into this thread's tally"
         );
-        assert_eq!(store.get(key).unwrap(), None);
+        assert_eq!(store.get(key), None);
         assert_eq!(ResultStore::thread_misses(), before + 1);
     }
 
@@ -795,14 +983,134 @@ mod tests {
             for _ in 0..8 {
                 s.spawn(|| {
                     for _ in 0..20 {
-                        store.put(key, &result).unwrap();
-                        assert!(store.get(key).unwrap().is_some());
+                        store.put(key, &result);
+                        assert!(store.get(key).is_some());
                     }
                 });
             }
         });
         let cold = ResultStore::open(&dir).unwrap();
-        assert_eq!(cold.get(key).unwrap(), Some(result));
+        assert_eq!(cold.get(key), Some(result));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_sweeps_orphaned_tmp_files() {
+        let dir = tmpdir("orphans");
+        let (key, result) = run_one();
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(key, &result);
+        }
+        // Simulate a crash mid-publish: leftover tempfiles in a shard.
+        let hex = key.to_hex();
+        let shard = dir.join(&hex[..2]);
+        fs::write(shard.join(format!(".{hex}.tmp.999.0")), b"partial").unwrap();
+        fs::write(shard.join(format!(".{hex}.tmp.999.1")), b"x").unwrap();
+
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.stats().orphans_swept, 2);
+        assert_eq!(store.disk_entries(), 1, "the real record survives");
+        assert_eq!(store.get(key), Some(result));
+        assert!(!shard.join(format!(".{hex}.tmp.999.0")).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_through() {
+        use crate::store_io::{FaultKind, FaultPlan, FaultyIo};
+        let dir = tmpdir("retry");
+        let (key, result) = run_one();
+        // Op 0 = shard-create is unfaulted but counted; plan pins faults
+        // onto the first write and the following rename *retry* cycle:
+        // attempt 1: write(0 torn) → fail; attempt 2: write(1 ok),
+        // rename(2 fail) → fail; attempt 3: write(3), rename(4),
+        // sync(5) all clean → published.
+        let io = Arc::new(FaultyIo::new(
+            FaultPlan::none()
+                .with_fault(0, FaultKind::TornWrite)
+                .with_fault(2, FaultKind::RenameFail),
+        ));
+        let store = ResultStore::open_with(
+            &dir,
+            Arc::clone(&io) as Arc<dyn StoreIo>,
+            RetryPolicy::immediate(),
+        )
+        .unwrap();
+        store.put(key, &result);
+        let s = store.stats();
+        assert_eq!(s.retries, 2, "two backoff cycles");
+        assert_eq!(s.write_failures, 0);
+        assert!(!s.degraded);
+        assert_eq!(io.injected().torn_writes, 1);
+        assert_eq!(io.injected().rename_fails, 1);
+        // The record really was published despite the faults.
+        let cold = ResultStore::open(&dir).unwrap();
+        assert_eq!(cold.get(key), Some(result));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_write_retries_degrade_to_memory_only() {
+        use crate::store_io::{FaultPlan, FaultyIo};
+        let dir = tmpdir("degrade");
+        let (key, result) = run_one();
+        // Every operation faults: no publish can ever succeed.
+        let io = Arc::new(FaultyIo::new(FaultPlan::seeded(42, 1024)));
+        let store = ResultStore::open_with(
+            &dir,
+            Arc::clone(&io) as Arc<dyn StoreIo>,
+            RetryPolicy::immediate(),
+        )
+        .unwrap();
+        store.put(key, &result);
+        let s = store.stats();
+        assert!(s.degraded, "exhausted retries must latch degraded mode");
+        assert_eq!(s.write_failures, 1);
+        assert_eq!(s.retries, 3, "attempts-1 backoff cycles");
+        // Memory-only operation continues: the key still answers.
+        assert_eq!(store.get(key), Some(result.clone()));
+        // Further puts skip the disk entirely (op count stops growing).
+        let ops_before = io.ops();
+        store.put(key, &result);
+        assert_eq!(io.ops(), ops_before, "degraded puts must not touch disk");
+        assert_eq!(store.stats().write_failures, 1, "and are not failures");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_faults_quarantine_and_hand_leadership_back() {
+        use crate::store_io::{FaultKind, FaultPlan, FaultyIo};
+        let dir = tmpdir("readfault");
+        let (key, result) = run_one();
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(key, &result);
+        }
+        // Op 0 is the cold read: inject EIO. The quarantine rename that
+        // follows is op 1 (clean). The re-simulation path then leads.
+        let io = Arc::new(FaultyIo::new(
+            FaultPlan::none().with_fault(0, FaultKind::ReadEio),
+        ));
+        let store = ResultStore::open_with(
+            &dir,
+            Arc::clone(&io) as Arc<dyn StoreIo>,
+            RetryPolicy::immediate(),
+        )
+        .unwrap();
+        let Flight::Lead(guard) = store.lookup(key) else {
+            panic!("a quarantined read must degrade to a leading miss");
+        };
+        assert_eq!(store.stats().quarantined, 1);
+        assert!(
+            dir.join(QUARANTINE_DIR).is_dir(),
+            "unreadable record must be moved aside"
+        );
+        // The leader republishes; the store is healed.
+        store.put(key, &result);
+        drop(guard);
+        assert_eq!(store.get(key), Some(result));
+        assert!(!store.degraded());
         let _ = fs::remove_dir_all(&dir);
     }
 }

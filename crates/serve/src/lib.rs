@@ -28,6 +28,13 @@
 //! simulations), failures carry `"error"`. Malformed lines never kill
 //! the connection.
 //!
+//! `stats` additionally reports store health: `store_degraded` (the
+//! store latched memory-only mode after a publish exhausted its
+//! retries), `quarantined` (records moved aside after failed reads),
+//! `retries`, `write_failures` and `orphans_swept`. The daemon keeps
+//! answering queries in degraded mode — the disk is an optimization,
+//! never a dependency (see DESIGN.md §9).
+//!
 //! ## Concurrency model
 //!
 //! The accept loop dispatches each connection to a bounded pool of
@@ -383,7 +390,7 @@ impl Daemon {
             )),
             Request::Stats => {
                 let s = self.store().stats();
-                let disk = self.store().disk_entries()?;
+                let disk = self.store().disk_entries();
                 let c = self.counters.snapshot();
                 Ok((
                     json::object(&[
@@ -397,6 +404,11 @@ impl Daemon {
                         ("simulated_uops", s.simulated_uops.to_string()),
                         ("disk_entries", disk.to_string()),
                         ("persistent", json::boolean(self.store().dir().is_some())),
+                        ("store_degraded", json::boolean(s.degraded)),
+                        ("quarantined", s.quarantined.to_string()),
+                        ("retries", s.retries.to_string()),
+                        ("write_failures", s.write_failures.to_string()),
+                        ("orphans_swept", s.orphans_swept.to_string()),
                         ("connections_accepted", c.accepted.to_string()),
                         ("connections_completed", c.completed.to_string()),
                         ("connections_refused", c.refused_busy.to_string()),
@@ -877,6 +889,12 @@ mod tests {
         assert!(v.get("misses").unwrap().as_u64().unwrap() > 0);
         assert_eq!(v.get("persistent").unwrap().as_bool(), Some(false));
         assert_eq!(v.get("connections_accepted").unwrap().as_u64(), Some(0));
+        // Store-health fields: a healthy ephemeral store is all-clear.
+        assert_eq!(v.get("store_degraded").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("quarantined").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("retries").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("write_failures").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("orphans_swept").unwrap().as_u64(), Some(0));
 
         let (resp, stop) = d.handle_line(r#"{"experiment":"shutdown"}"#);
         assert!(stop);
