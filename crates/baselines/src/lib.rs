@@ -22,9 +22,6 @@
 //! # Ok::<(), lowvcc_sram::VoltageError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod comparison;
 pub mod extra_bypass;
 pub mod faulty_bits;

@@ -138,7 +138,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliOptions, CliE
     // sizes — no traces, empty traces — before any work starts.
     let suite = match SuiteChoice::parse(&suite) {
         Ok(s) => s,
-        Err(msg) => return usage(msg),
+        Err(e) => return usage(e.to_string()),
     };
     Ok(CliOptions {
         suite,

@@ -33,6 +33,37 @@ pub enum SuiteChoice {
     },
 }
 
+/// Why a `--suite` argument was rejected. The `Display` form is the
+/// usage message both binaries print verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteSpecError {
+    /// Not a named suite and not of the `NxLEN` form.
+    BadSpec(String),
+    /// The `N` in `NxLEN` is not a count.
+    BadPerFamily,
+    /// The `LEN` in `NxLEN` is not a length.
+    BadLength,
+    /// Zero traces per family or zero-length traces: no defined
+    /// speedups/EDP.
+    Degenerate,
+}
+
+impl std::fmt::Display for SuiteSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadSpec(spec) => write!(f, "bad suite spec {spec}; want e.g. 3x50000"),
+            Self::BadPerFamily => write!(f, "bad per-family count"),
+            Self::BadLength => write!(f, "bad trace length"),
+            Self::Degenerate => write!(
+                f,
+                "suite spec needs at least 1 trace per family and 1 uop per trace"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SuiteSpecError {}
+
 impl SuiteChoice {
     /// Parses a `--suite` argument (`quick`, `standard`, `paper`, or
     /// `NxLEN`), rejecting degenerate sizes before any work starts:
@@ -41,27 +72,25 @@ impl SuiteChoice {
     ///
     /// # Errors
     ///
-    /// Returns a usage message suitable for printing verbatim.
-    pub fn parse(arg: &str) -> Result<Self, String> {
+    /// Returns a [`SuiteSpecError`] whose `Display` form is a usage
+    /// message suitable for printing verbatim.
+    pub fn parse(arg: &str) -> Result<Self, SuiteSpecError> {
         match arg {
             "quick" => Ok(Self::Quick),
             "standard" => Ok(Self::Standard),
             "paper" => Ok(Self::Paper),
             custom => {
                 let Some((n, len)) = custom.split_once('x') else {
-                    return Err(format!("bad suite spec {custom}; want e.g. 3x50000"));
+                    return Err(SuiteSpecError::BadSpec(custom.to_string()));
                 };
                 let Ok(n) = n.parse::<u32>() else {
-                    return Err("bad per-family count".to_string());
+                    return Err(SuiteSpecError::BadPerFamily);
                 };
                 let Ok(len) = len.parse::<usize>() else {
-                    return Err("bad trace length".to_string());
+                    return Err(SuiteSpecError::BadLength);
                 };
                 if n == 0 || len == 0 {
-                    return Err(
-                        "suite spec needs at least 1 trace per family and 1 uop per trace"
-                            .to_string(),
-                    );
+                    return Err(SuiteSpecError::Degenerate);
                 }
                 Ok(Self::Sized { per_family: n, len })
             }

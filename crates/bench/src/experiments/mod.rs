@@ -110,6 +110,7 @@ pub fn run_all(ctx: &ExperimentContext, out_dir: &Path) -> Result<RunSummary, Ex
     report.push('\n');
 
     let cached_uops_before = ctx.cache.as_ref().map(|s| s.stats().simulated_uops);
+    // lint: allow(no-wallclock) -- report metadata only; never feeds a simulated result
     let sweep_started = Instant::now();
     let points = sweep::run_sweep(ctx)?;
     let sweep_elapsed = sweep_started.elapsed();

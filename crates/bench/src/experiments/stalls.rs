@@ -43,7 +43,9 @@ pub struct StallReport {
 ///
 /// Propagates simulation failures.
 pub fn measure(ctx: &ExperimentContext) -> Result<StallReport, ExperimentError> {
-    measure_at(ctx, Millivolts::new(575).expect("grid voltage"))
+    // Compile-time-validated grid anchor: the paper's 575 mV reference.
+    const STALL_REFERENCE: Millivolts = Millivolts::literal(575);
+    measure_at(ctx, STALL_REFERENCE)
 }
 
 /// Measures the attribution at an arbitrary voltage.

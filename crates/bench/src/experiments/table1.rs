@@ -90,7 +90,8 @@ pub fn rows_table(rows: &[QuantRow]) -> TextTable {
 ///
 /// Propagates simulation failures.
 pub fn quantitative(ctx: &ExperimentContext) -> Result<TextTable, ExperimentError> {
-    let vcc = Millivolts::new(500).expect("500 mV on the grid");
+    const VCC: Millivolts = Millivolts::literal(500);
+    let vcc = VCC;
     Ok(rows_table(&quantitative_rows_at(ctx, vcc)?))
 }
 

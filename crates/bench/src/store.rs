@@ -50,11 +50,12 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 
 use lowvcc_core::canon::fnv1a_64;
 use lowvcc_core::{decode_sim_result, encode_sim_result, CanonError, SimKey, SimResult};
 
+use crate::lockdep::{OrderedCondvar, OrderedMutex};
 use crate::store_io::{RealIo, RetryPolicy, StoreIo};
 
 /// Name of the sibling directory quarantined records are moved into.
@@ -158,8 +159,8 @@ thread_local! {
 /// panicking or erroring leader wakes everyone.
 #[derive(Debug)]
 struct FlightState {
-    done: Mutex<bool>,
-    cv: Condvar,
+    done: OrderedMutex<bool>,
+    cv: OrderedCondvar,
 }
 
 /// Leadership of one in-flight key: the holder is the unique caller
@@ -176,7 +177,7 @@ pub struct FlightGuard<'a> {
 
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
-        let mut inflight = lock(&self.store.inflight);
+        let mut inflight = self.store.inflight.lock();
         if inflight
             .get(&self.key)
             .is_some_and(|s| Arc::ptr_eq(s, &self.state))
@@ -184,7 +185,7 @@ impl Drop for FlightGuard<'_> {
             inflight.remove(&self.key);
         }
         drop(inflight);
-        *lock(&self.state.done) = true;
+        *self.state.done.lock() = true;
         self.state.cv.notify_all();
     }
 }
@@ -210,13 +211,9 @@ impl FlightWaiter {
     /// Blocks until the in-flight simulation retires (publish or
     /// abandon). Re-`lookup` afterwards for the outcome.
     pub fn wait(self) {
-        let mut done = lock(&self.state.done);
+        let mut done = self.state.done.lock();
         while !*done {
-            done = self
-                .state
-                .cv
-                .wait(done)
-                .unwrap_or_else(PoisonError::into_inner);
+            done = self.state.cv.wait(done);
         }
     }
 }
@@ -234,13 +231,6 @@ pub enum Flight<'a> {
     /// Another caller is simulating this key right now; `wait`, then
     /// `lookup` again.
     Pending(FlightWaiter),
-}
-
-/// Locks a store-internal mutex, recovering from poisoning: the guarded
-/// state is only cache bookkeeping, so a panic in one worker thread
-/// must not cascade `unwrap` panics through every other thread.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// In-memory LRU over decoded results: `HashMap` for lookup plus a
@@ -321,8 +311,8 @@ pub struct ResultStore {
     pub(crate) dir: Option<PathBuf>,
     pub(crate) io: Arc<dyn StoreIo>,
     retry: RetryPolicy,
-    lru: Mutex<Lru>,
-    inflight: Mutex<HashMap<SimKey, Arc<FlightState>>>,
+    lru: OrderedMutex<Lru>,
+    inflight: OrderedMutex<HashMap<SimKey, Arc<FlightState>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
@@ -394,8 +384,8 @@ impl ResultStore {
             dir: None,
             io: Arc::new(RealIo),
             retry: RetryPolicy::default(),
-            lru: Mutex::new(Lru::new(DEFAULT_LRU_CAPACITY)),
-            inflight: Mutex::new(HashMap::new()),
+            lru: OrderedMutex::new("store.lru", Lru::new(DEFAULT_LRU_CAPACITY)),
+            inflight: OrderedMutex::new("store.inflight", HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
@@ -413,7 +403,7 @@ impl ResultStore {
     #[must_use]
     pub fn with_lru_capacity(self, capacity: usize) -> Self {
         Self {
-            lru: Mutex::new(Lru::new(capacity.max(1))),
+            lru: OrderedMutex::new("store.lru", Lru::new(capacity.max(1))),
             ..self
         }
     }
@@ -495,6 +485,7 @@ impl ResultStore {
             // aside must not be read again.
             let _ = self.io.remove_file(path);
         }
+        // lint: allow(no-print) -- operator-facing store log; also counted in stats
         eprintln!("lowvcc-store: quarantined {}: {why}", path.display());
     }
 
@@ -502,7 +493,7 @@ impl ResultStore {
     /// into the LRU). Infallible — a record that cannot be read or
     /// decoded is quarantined and reported as a miss.
     fn probe(&self, key: SimKey) -> Option<SimResult> {
-        if let Some(hit) = lock(&self.lru).get(key) {
+        if let Some(hit) = self.lru.lock().get(key) {
             return Some(hit);
         }
         let path = self.entry_path(key)?;
@@ -516,7 +507,7 @@ impl ResultStore {
         };
         match decode_sim_result(&bytes) {
             Ok(result) => {
-                lock(&self.lru).insert(key, result.clone());
+                self.lru.lock().insert(key, result.clone());
                 Some(result)
             }
             Err(e) => {
@@ -565,7 +556,7 @@ impl ResultStore {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Flight::Hit(Box::new(hit));
         }
-        let mut inflight = lock(&self.inflight);
+        let mut inflight = self.inflight.lock();
         if let Some(state) = inflight.get(&key) {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
             return Flight::Pending(FlightWaiter {
@@ -580,13 +571,13 @@ impl ResultStore {
         // would serialize every cold lookup; the one race it would
         // close (a concurrent *cross-process* publish since the first
         // probe) merely costs one deterministic re-simulation.
-        if let Some(hit) = lock(&self.lru).get(key) {
+        if let Some(hit) = self.lru.lock().get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Flight::Hit(Box::new(hit));
         }
         let state = Arc::new(FlightState {
-            done: Mutex::new(false),
-            cv: Condvar::new(),
+            done: OrderedMutex::new("store.flight", false),
+            cv: OrderedCondvar::new(),
         });
         inflight.insert(key, Arc::clone(&state));
         drop(inflight);
@@ -601,7 +592,12 @@ impl ResultStore {
     /// One publish attempt: fsynced tempfile, atomic rename, directory
     /// fsync — all through the [`StoreIo`] seam.
     fn try_publish(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
-        let shard = path.parent().expect("entry paths have shard parents");
+        // Entry paths are always `<dir>/<shard>/<key>.bin`, so a parent
+        // exists; a path without one degrades like any other publish
+        // failure instead of killing the caller.
+        let Some(shard) = path.parent() else {
+            return Err(io::Error::other("entry path has no shard parent"));
+        };
         self.io.create_dir_all(shard)?;
         // Unique per process *and* per call, so concurrent writers of the
         // same key never share a tempfile.
@@ -632,7 +628,7 @@ impl ResultStore {
     /// deterministic per-key jitter); exhausting every attempt latches
     /// degraded (memory-only) mode rather than failing the caller.
     pub fn put(&self, key: SimKey, result: &SimResult) {
-        lock(&self.lru).insert(key, result.clone());
+        self.lru.lock().insert(key, result.clone());
         self.stores.fetch_add(1, Ordering::Relaxed);
         let Some(path) = self.entry_path(key) else {
             return;
@@ -658,6 +654,7 @@ impl ResultStore {
         }
         self.write_failures.fetch_add(1, Ordering::Relaxed);
         if !self.degraded.swap(true, Ordering::Relaxed) {
+            // lint: allow(no-print) -- operator-facing store log; also counted in stats
             eprintln!(
                 "lowvcc-store: publish of {} failed after {} attempts ({}); \
                  degrading to memory-only operation",
@@ -875,11 +872,11 @@ mod tests {
         // Poison the inner mutex: panic while holding the guard (the
         // same poisoning a worker-thread panic mid-operation causes).
         let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = store.lru.lock().unwrap();
+            let _guard = store.lru.raw().lock().unwrap();
             panic!("worker died mid-operation");
         }));
         assert!(poisoned.is_err());
-        assert!(store.lru.lock().is_err(), "lock really is poisoned");
+        assert!(store.lru.raw().lock().is_err(), "lock really is poisoned");
         // Every path over the lock must keep working: the Lru holds
         // only cache state, so it is recovered, not propagated.
         assert_eq!(store.get(key), Some(result.clone()));

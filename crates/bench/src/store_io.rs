@@ -240,7 +240,9 @@ impl FaultPlan {
         }
         if u64::from(self.rate_per_1024) > h % 1024 {
             let kinds = class.kinds();
-            let kind = kinds[usize::try_from((h >> 10) % kinds.len() as u64).expect("small")];
+            // `% kinds.len()` always fits usize; the fallback keeps the
+            // fault injector itself panic-free.
+            let kind = kinds[usize::try_from((h >> 10) % kinds.len() as u64).unwrap_or(0)];
             return Some((kind, h >> 13));
         }
         None
@@ -366,14 +368,14 @@ impl StoreIo for FaultyIo {
                 let mut bytes = self.inner.read(path)?;
                 if !bytes.is_empty() {
                     let bit = entropy % (bytes.len() as u64 * 8);
-                    bytes[usize::try_from(bit / 8).expect("in range")] ^= 1 << (bit % 8);
+                    bytes[usize::try_from(bit / 8).unwrap_or(0)] ^= 1 << (bit % 8);
                 }
                 Ok(bytes)
             }
             Some((FaultKind::ReadTruncate, entropy)) => {
                 let mut bytes = self.inner.read(path)?;
                 if !bytes.is_empty() {
-                    bytes.truncate(usize::try_from(entropy % bytes.len() as u64).expect("short"));
+                    bytes.truncate(usize::try_from(entropy % bytes.len() as u64).unwrap_or(0));
                 }
                 Ok(bytes)
             }
@@ -386,7 +388,7 @@ impl StoreIo for FaultyIo {
             Some((FaultKind::TornWrite, entropy)) => {
                 // Persist a strict prefix, then report failure — what a
                 // crash mid-write leaves on disk.
-                let keep = usize::try_from(entropy % bytes.len().max(1) as u64).expect("short");
+                let keep = usize::try_from(entropy % bytes.len().max(1) as u64).unwrap_or(0);
                 let _ = self.inner.write_sync(path, &bytes[..keep]);
                 Err(injected_eio("torn write"))
             }
@@ -478,7 +480,7 @@ impl RetryPolicy {
             .saturating_mul(1u32 << (attempt - 1).min(16))
             .min(self.cap);
         // Jitter factor in [512, 1023]/1024 ≈ [0.5, 1).
-        let jitter = 512 + u32::try_from(mix(salt, u64::from(attempt)) % 512).expect("fits");
+        let jitter = 512 + u32::try_from(mix(salt, u64::from(attempt)) % 512).unwrap_or(0);
         exp * jitter / 1024
     }
 }

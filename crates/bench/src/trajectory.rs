@@ -253,28 +253,68 @@ pub fn measure(ctx: &ExperimentContext) -> Result<TrajectoryEntry, ExperimentErr
     })
 }
 
+/// Why a trajectory document failed validation. The `Display` form is
+/// what `bench_json_check` prints (after the file path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrajectoryFormatError {
+    /// The document is not strictly valid JSON.
+    Json(json::JsonError),
+    /// The document has no string `"schema"` tag.
+    MissingSchema,
+    /// The schema tag is not [`TRAJECTORY_SCHEMA`].
+    UnknownSchema(String),
+    /// The document has no `"entries"` array.
+    MissingEntries,
+    /// One entry is malformed.
+    Entry {
+        /// Index of the offending entry.
+        index: usize,
+        /// What is wrong with it.
+        problem: String,
+    },
+}
+
+impl std::fmt::Display for TrajectoryFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "{e}"),
+            Self::MissingSchema => write!(f, "missing schema tag"),
+            Self::UnknownSchema(schema) => write!(f, "unknown schema {schema:?}"),
+            Self::MissingEntries => write!(f, "missing entries array"),
+            Self::Entry { index, problem } => write!(f, "entry {index}: {problem}"),
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryFormatError {}
+
 /// Validates a trajectory document, returning its entry count.
 ///
 /// # Errors
 ///
-/// Describes the first problem found: a strict-parse failure, a
-/// missing/unknown schema tag, or a malformed entry.
-pub fn validate(text: &str) -> Result<usize, String> {
-    let doc = json::parse(text).map_err(|e| e.to_string())?;
+/// Returns a [`TrajectoryFormatError`] describing the first problem
+/// found: a strict-parse failure, a missing/unknown schema tag, or a
+/// malformed entry.
+pub fn validate(text: &str) -> Result<usize, TrajectoryFormatError> {
+    let entry = |index, problem: &str| TrajectoryFormatError::Entry {
+        index,
+        problem: problem.to_string(),
+    };
+    let doc = json::parse(text).map_err(TrajectoryFormatError::Json)?;
     let schema = doc
         .get("schema")
         .and_then(Value::as_str)
-        .ok_or_else(|| "missing schema tag".to_string())?;
+        .ok_or(TrajectoryFormatError::MissingSchema)?;
     if schema != TRAJECTORY_SCHEMA {
-        return Err(format!("unknown schema {schema:?}"));
+        return Err(TrajectoryFormatError::UnknownSchema(schema.to_string()));
     }
     let entries = doc
         .get("entries")
         .and_then(Value::as_array)
-        .ok_or_else(|| "missing entries array".to_string())?;
+        .ok_or(TrajectoryFormatError::MissingEntries)?;
     for (i, e) in entries.iter().enumerate() {
         if e.get("suite").and_then(Value::as_str).is_none() {
-            return Err(format!("entry {i}: suite must be a string"));
+            return Err(entry(i, "suite must be a string"));
         }
         for key in [
             "batched_seconds",
@@ -284,33 +324,39 @@ pub fn validate(text: &str) -> Result<usize, String> {
             "speedup",
         ] {
             if e.get(key).and_then(Value::as_f64).is_none() {
-                return Err(format!("entry {i}: {key} must be a number"));
+                return Err(entry(i, &format!("{key} must be a number")));
             }
         }
         let families = e
             .get("families")
             .and_then(Value::as_array)
-            .ok_or_else(|| format!("entry {i}: families must be an array"))?;
+            .ok_or_else(|| entry(i, "families must be an array"))?;
         if families.is_empty() {
-            return Err(format!("entry {i}: families is empty"));
+            return Err(entry(i, "families is empty"));
         }
         for (j, f) in families.iter().enumerate() {
             if f.get("family").and_then(Value::as_str).is_none() {
-                return Err(format!("entry {i} family {j}: family must be a string"));
+                return Err(entry(i, &format!("family {j}: family must be a string")));
             }
             if f.get("uops").and_then(Value::as_u64).is_none() {
-                return Err(format!("entry {i} family {j}: uops must be a whole number"));
+                return Err(entry(
+                    i,
+                    &format!("family {j}: uops must be a whole number"),
+                ));
             }
         }
     }
     Ok(entries.len())
 }
 
-fn invalid(path: &Path, reason: String) -> ExperimentError {
-    ExperimentError::io_at(path)(std::io::Error::new(std::io::ErrorKind::InvalidData, reason))
+fn invalid(path: &Path, reason: TrajectoryFormatError) -> ExperimentError {
+    ExperimentError::io_at(path)(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        reason.to_string(),
+    ))
 }
 
-fn rendered_entries(text: &str) -> Result<Vec<String>, String> {
+fn rendered_entries(text: &str) -> Result<Vec<String>, TrajectoryFormatError> {
     validate(text)?;
     let doc = json::parse(text).expect("validated above");
     let entries = doc
@@ -448,7 +494,7 @@ mod tests {
             ),
         ] {
             let err = validate(doc).unwrap_err();
-            assert!(err.contains(want), "{doc} -> {err}");
+            assert!(err.to_string().contains(want), "{doc} -> {err}");
         }
     }
 }

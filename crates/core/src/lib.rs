@@ -33,9 +33,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod adapt;
 pub mod batch;
 pub mod canon;

@@ -30,9 +30,6 @@
 //! # Ok::<(), lowvcc_sram::VoltageError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod dvfs;
 pub mod edp;
 pub mod interp;

@@ -89,7 +89,8 @@ impl EnergyModel {
             "energy per instruction must be positive"
         );
         assert!(reference_cpi > 0.0, "reference CPI must be positive");
-        let v600 = Millivolts::new(600).expect("600 mV in range");
+        const V600: Millivolts = Millivolts::literal(600);
+        let v600 = V600;
         let time_per_instr = reference_cpi * timing.baseline_cycle(v600).seconds();
         // 10% of total ⇒ leakage = dynamic / 9 per instruction.
         let leak_at_600mv = Watts::new(epi_at_600mv.joules() / 9.0 / time_per_instr);

@@ -1,0 +1,251 @@
+//! Layering rule: crate dependency edges must point down the stack.
+//!
+//! The workspace is ranked:
+//!
+//! ```text
+//! rank 0   lowvcc-sram    lowvcc-trace      (leaf models)
+//! rank 1   lowvcc-energy  lowvcc-uarch      (derived models)
+//! rank 2   lowvcc-core                      (the simulator engine)
+//! rank 3   lowvcc-baselines                 (paper mechanisms)
+//! rank 4   lowvcc-bench                     (experiments, store, suites)
+//! rank 5   lowvcc-serve                     (the daemon)
+//! rank 6   lowvcc (facade)                  (re-exports)
+//! ```
+//!
+//! Every `lowvcc-*` dependency edge — normal, dev or build — must go
+//! to a **strictly lower** rank; an upward or sideways edge inverts
+//! the layering and is rejected. `lowvcc-lint` itself is isolated: it
+//! must not appear on either end of any workspace dependency edge, so
+//! the checker can never become load-bearing for the thing it checks.
+//!
+//! The manifests are parsed with a deliberately small TOML subset
+//! reader: section headers and `name = …` keys. Only the
+//! `[dependencies]` / `[dev-dependencies]` / `[build-dependencies]`
+//! sections contribute edges — in particular the root manifest's
+//! `[workspace.dependencies]` table is a version catalogue, not an
+//! edge list, and is ignored.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A layering violation, reported against the offending manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayeringViolation {
+    /// Workspace-relative manifest path.
+    pub manifest: String,
+    /// The depending package.
+    pub from: String,
+    /// The depended-upon package.
+    pub to: String,
+    /// Why the edge is illegal.
+    pub reason: String,
+}
+
+/// Stack rank of a workspace package, or `None` for the isolated lint
+/// crate and non-workspace names.
+fn rank(package: &str) -> Option<u32> {
+    match package {
+        "lowvcc-sram" | "lowvcc-trace" => Some(0),
+        "lowvcc-energy" | "lowvcc-uarch" => Some(1),
+        "lowvcc-core" => Some(2),
+        "lowvcc-baselines" => Some(3),
+        "lowvcc-bench" => Some(4),
+        "lowvcc-serve" => Some(5),
+        "lowvcc" => Some(6),
+        _ => None,
+    }
+}
+
+/// One parsed manifest: package name plus its `lowvcc*` dep edges.
+struct Manifest {
+    rel: String,
+    package: String,
+    deps: Vec<String>,
+}
+
+/// Checks every workspace manifest under `root` and returns all
+/// layering violations, sorted by manifest path.
+pub fn check_layering(root: &Path) -> io::Result<Vec<LayeringViolation>> {
+    let mut manifests = Vec::new();
+    if let Some(m) = parse_manifest(root, "Cargo.toml")? {
+        manifests.push(m);
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let rel = format!(
+                "crates/{}/Cargo.toml",
+                dir.file_name().and_then(|n| n.to_str()).unwrap_or_default()
+            );
+            if dir.join("Cargo.toml").is_file() {
+                if let Some(m) = parse_manifest(root, &rel)? {
+                    manifests.push(m);
+                }
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    for m in &manifests {
+        let from_rank = rank(&m.package);
+        for dep in &m.deps {
+            let to_rank = rank(dep);
+            if m.package == "lowvcc-lint" {
+                violations.push(violation(
+                    m,
+                    dep,
+                    "lowvcc-lint is isolated: it must not depend on workspace crates",
+                ));
+                continue;
+            }
+            if dep == "lowvcc-lint" {
+                violations.push(violation(
+                    m,
+                    dep,
+                    "lowvcc-lint is isolated: workspace crates must not depend on it",
+                ));
+                continue;
+            }
+            match (from_rank, to_rank) {
+                (Some(f), Some(t)) if t >= f => {
+                    violations.push(violation(
+                        m,
+                        dep,
+                        &format!(
+                            "edge inverts the layering: rank {f} may only depend on rank < {f}, \
+                             but {dep} has rank {t}"
+                        ),
+                    ));
+                }
+                (None, _) if m.package.starts_with("lowvcc") => {
+                    violations.push(violation(m, dep, "package is not in the layering map"));
+                }
+                (_, None) if dep.starts_with("lowvcc") => {
+                    violations.push(violation(m, dep, "dependency is not in the layering map"));
+                }
+                _ => {}
+            }
+        }
+    }
+    violations.sort_by(|a, b| (&a.manifest, &a.to).cmp(&(&b.manifest, &b.to)));
+    Ok(violations)
+}
+
+fn violation(m: &Manifest, dep: &str, reason: &str) -> LayeringViolation {
+    LayeringViolation {
+        manifest: m.rel.clone(),
+        from: m.package.clone(),
+        to: dep.to_string(),
+        reason: reason.to_string(),
+    }
+}
+
+/// Parses one manifest; `None` when it has no `[package]` section
+/// (a virtual workspace root would have none — ours also carries the
+/// facade package, so it parses).
+fn parse_manifest(root: &Path, rel: &str) -> io::Result<Option<Manifest>> {
+    let text = fs::read_to_string(root.join(rel))?;
+    let mut package = None;
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line[1..line.len() - 1].trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if section == "package" && key == "name" {
+            package = Some(value.trim_matches('"').to_string());
+        }
+        // Only real edge sections: the root's [workspace.dependencies]
+        // is a version catalogue, not a dependency.
+        let is_edge_section = matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        );
+        if is_edge_section {
+            // `lowvcc-core.workspace = true` spells the dep in the key.
+            let name = key.split('.').next().unwrap_or(key).trim();
+            if name.starts_with("lowvcc") {
+                deps.push(name.to_string());
+            }
+        }
+    }
+    Ok(package.map(|package| Manifest {
+        rel: rel.to_string(),
+        package,
+        deps,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn workspace_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    #[test]
+    fn the_real_workspace_layers_cleanly() {
+        let violations = check_layering(&workspace_root()).unwrap();
+        assert!(
+            violations.is_empty(),
+            "layering violations in the real workspace: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn rank_map_covers_every_workspace_crate() {
+        for p in [
+            "lowvcc-sram",
+            "lowvcc-trace",
+            "lowvcc-energy",
+            "lowvcc-uarch",
+            "lowvcc-core",
+            "lowvcc-baselines",
+            "lowvcc-bench",
+            "lowvcc-serve",
+            "lowvcc",
+        ] {
+            assert!(rank(p).is_some(), "{p} missing from the rank map");
+        }
+        assert!(rank("lowvcc-lint").is_none(), "the lint crate is isolated");
+        assert!(rank("criterion-shim").is_none());
+    }
+
+    #[test]
+    fn inverted_edges_are_rejected() {
+        let dir = std::env::temp_dir().join("lowvcc-lint-layering-test");
+        let crates = dir.join("crates/sram");
+        fs::create_dir_all(&crates).unwrap();
+        fs::write(
+            dir.join("Cargo.toml"),
+            "[package]\nname = \"lowvcc\"\n[dependencies]\nlowvcc-sram.workspace = true\n",
+        )
+        .unwrap();
+        fs::write(
+            crates.join("Cargo.toml"),
+            "[package]\nname = \"lowvcc-sram\"\n[dependencies]\nlowvcc-serve = { path = \"x\" }\n",
+        )
+        .unwrap();
+        let violations = check_layering(&dir).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].from, "lowvcc-sram");
+        assert_eq!(violations[0].to, "lowvcc-serve");
+        assert!(violations[0].reason.contains("inverts the layering"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

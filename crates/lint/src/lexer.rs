@@ -1,0 +1,636 @@
+//! A hand-rolled Rust lexer, just deep enough to lint honestly.
+//!
+//! The rule engine needs to tell an `unwrap` *identifier* from the text
+//! `"// unwrap()"` inside a string literal, a `'a` lifetime from a
+//! `'a'` char literal, and real code from `#[cfg(test)]` regions. A
+//! full parser would be overkill; a token stream with accurate line
+//! numbers is exactly enough. Handled: line comments (including doc
+//! comments), nested block comments, string / raw-string / byte-string
+//! / char literals, lifetimes, raw identifiers, numbers with suffixes,
+//! and the two compound puncts the rules care about (`::`, `->`).
+//!
+//! The lexer also extracts **waivers** from plain `//` comments (doc
+//! comments deliberately cannot waive — documentation must be able to
+//! *describe* the waiver syntax without enacting it). A waiver reads
+//! `lint: allow(rule-name) -- reason` after the `//` and suppresses the
+//! named rules on its own line and the line below; the reason is
+//! mandatory. Malformed waivers are reported, never silently ignored.
+
+/// What a token is; the rules dispatch on this plus the text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `pub`, `fn`, `HashMap`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (without the quote).
+    Lifetime,
+    /// String, raw-string or byte-string literal (contents kept).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal, suffix included.
+    Num,
+    /// Punctuation: single characters, plus `::` and `->` merged.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source text (raw identifiers are stored without `r#`).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// A parsed `lint: allow(...) -- reason` waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Line the waiver comment starts on. It suppresses matching
+    /// diagnostics on this line and the next one.
+    pub line: u32,
+    /// Rules the waiver names.
+    pub rules: Vec<String>,
+    /// The mandatory justification after `--`.
+    pub reason: String,
+}
+
+/// Everything the lexer extracts from one file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// The token stream, comments stripped.
+    pub tokens: Vec<Token>,
+    /// Well-formed waivers found in plain `//` comments.
+    pub waivers: Vec<Waiver>,
+    /// Malformed waiver attempts: `(line, what is wrong)`.
+    pub waiver_errors: Vec<(u32, String)>,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: LexOutput,
+}
+
+/// Lexes one source file. Never fails: unterminated constructs simply
+/// end at EOF (the compiler, not the linter, owns syntax errors).
+pub fn lex(source: &str) -> LexOutput {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: LexOutput::default(),
+    };
+    lx.run();
+    lx.out
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.quote(),
+                'r' | 'b' if self.raw_or_byte_literal() => {}
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Punct, "::".to_string(), line);
+                }
+                '-' if self.peek(1) == Some('>') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Punct, "->".to_string(), line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        // `///` and `//!` are documentation: they may *describe* waiver
+        // syntax, so they must not be able to enact it.
+        let doc = matches!(self.peek(0), Some('/' | '!'));
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if !doc {
+            self.waiver(line, &text);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn waiver(&mut self, line: u32, text: &str) {
+        let Some(rest) = text.trim_start().strip_prefix("lint:") else {
+            return;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            self.out.waiver_errors.push((
+                line,
+                "unknown lint directive; only `allow(rule, ...) -- reason` is supported"
+                    .to_string(),
+            ));
+            return;
+        };
+        let Some(close) = args.find(')') else {
+            self.out
+                .waiver_errors
+                .push((line, "unclosed `allow(` in waiver".to_string()));
+            return;
+        };
+        let rules: Vec<String> = args[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            self.out
+                .waiver_errors
+                .push((line, "waiver names no rules".to_string()));
+            return;
+        }
+        let tail = args[close + 1..].trim_start();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            self.out.waiver_errors.push((
+                line,
+                "waiver needs a justification: `-- reason` after the rule list".to_string(),
+            ));
+            return;
+        }
+        self.out.waivers.push(Waiver {
+            line,
+            rules,
+            reason: reason.to_string(),
+        });
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push('\\');
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// `'a` lifetime, `'a'` / `'\n'` char literal, or a lone `'`.
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume the escape, then
+                // everything up to the closing quote (covers \u{...}).
+                let mut text = String::new();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokenKind::Char, text, line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(TokenKind::Char, name, line);
+                } else {
+                    self.push(TokenKind::Lifetime, name, line);
+                }
+            }
+            Some(c) => {
+                // Punctuation char literal such as '(' or ' '.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, c.to_string(), line);
+            }
+            None => self.push(TokenKind::Punct, "'".to_string(), line),
+        }
+    }
+
+    /// Tries `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, and raw identifiers
+    /// (`r#match`). Returns false when the `r`/`b` is an ordinary
+    /// identifier start, leaving the position untouched.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let line = self.line;
+        let mut i = 0;
+        if self.peek(i) == Some('b') {
+            i += 1;
+        }
+        let raw = self.peek(i) == Some('r');
+        if raw {
+            i += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(i + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if raw && self.peek(i + hashes) == Some('"') {
+            for _ in 0..i + hashes + 1 {
+                self.bump();
+            }
+            let mut text = String::new();
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for h in 0..hashes {
+                        if self.peek(h) != Some('#') {
+                            text.push('"');
+                            for _ in 0..h {
+                                text.push('#');
+                                self.bump();
+                            }
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                text.push(c);
+            }
+            self.push(TokenKind::Str, text, line);
+            return true;
+        }
+        if i == 1 && self.peek(0) == Some('b') && self.peek(1) == Some('"') {
+            self.bump(); // the b prefix; string_literal eats the rest
+            self.string_literal();
+            return true;
+        }
+        if raw
+            && hashes == 1
+            && self
+                .peek(i + 1)
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            // Raw identifier r#while — token text without the prefix.
+            for _ in 0..i + 1 {
+                self.bump();
+            }
+            self.ident();
+            return true;
+        }
+        false
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut prev = ' ';
+        while let Some(c) = self.peek(0) {
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                // `1.5` continues the number; `1.max(2)` and `0..n` do not.
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                // Exponent sign: 1.5e-3.
+                || ((c == '+' || c == '-') && matches!(prev, 'e' | 'E'));
+            if !take {
+                break;
+            }
+            text.push(c);
+            prev = c;
+            self.bump();
+        }
+        self.push(TokenKind::Num, text, line);
+    }
+}
+
+/// Marks every token inside a `#[test]` / `#[cfg(test)]`-gated item.
+///
+/// The panic-freedom and determinism rules exempt test code; this walks
+/// the token stream, finds test attributes, and masks the attribute
+/// plus the item it gates (up to the matching closing brace, or the
+/// terminating semicolon for brace-less items). `#[cfg(not(test))]` is
+/// *not* a test region — the `not` keeps it live code.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].text == "#" && tokens.get(i + 1).is_some_and(|t| t.text == "[")) {
+            i += 1;
+            continue;
+        }
+        let Some((attr_end, idents)) = attribute_span(tokens, i + 1) else {
+            i += 1;
+            continue;
+        };
+        let is_test = idents.iter().any(|t| t == "test") && !idents.iter().any(|t| t == "not");
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further stacked attributes before the item.
+        let mut j = attr_end + 1;
+        while tokens.get(j).is_some_and(|t| t.text == "#")
+            && tokens.get(j + 1).is_some_and(|t| t.text == "[")
+        {
+            match attribute_span(tokens, j + 1) {
+                Some((end, _)) => j = end + 1,
+                None => break,
+            }
+        }
+        let end = item_end(tokens, j);
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// From the index of an attribute's `[`, returns the index of its
+/// matching `]` and the identifiers inside.
+fn attribute_span(tokens: &[Token], open: usize) -> Option<(usize, Vec<String>)> {
+    let mut depth = 0i32;
+    let mut idents = Vec::new();
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "[") => depth += 1,
+            (TokenKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((k, idents));
+                }
+            }
+            (TokenKind::Ident, name) => idents.push(name.to_string()),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the last token of the item starting at `start`: the brace
+/// matching its first `{`, or the first `;` outside brackets/parens.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut parens = 0i32;
+    let mut brackets = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(start) {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" => parens += 1,
+            ")" => parens -= 1,
+            "[" => brackets += 1,
+            "]" => brackets -= 1,
+            ";" if parens == 0 && brackets == 0 => return k,
+            "{" => {
+                let mut depth = 0i32;
+                for (m, u) in tokens.iter().enumerate().skip(k) {
+                    if u.kind != TokenKind::Punct {
+                        continue;
+                    }
+                    match u.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return m;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                return tokens.len().saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_rules() {
+        let toks = kinds(r#"let s = "call // unwrap() here"; s.len()"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        // The unwrap inside the string is NOT an identifier token.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_lex_as_one_literal() {
+        let src = r###"let x = r#"quote " and // unwrap() inside"# ; x"###;
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains(r#"quote ""#));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn nested_block_comments_vanish() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<_> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, ["a", "\\n"]);
+    }
+
+    #[test]
+    fn numbers_stop_before_method_calls_and_ranges() {
+        let toks = kinds("1.5e-3; 0..n; 2.max(3); 0xFFu32");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["1.5e-3", "0", "2", "3", "0xFFu32"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn compound_puncts_merge() {
+        let toks = kinds("fn f() -> Vec<u8> { std::mem::take(x) }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == "->"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == "::"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let out = lex("let a = \"line\none\";\nlet b = 1;");
+        let b = out.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn waivers_parse_and_require_reasons() {
+        let ok = "x(); // lint: allow(no-print) -- operator-facing log";
+        let out = lex(ok);
+        assert_eq!(out.waivers.len(), 1);
+        assert_eq!(out.waivers[0].rules, ["no-print"]);
+        assert_eq!(out.waivers[0].reason, "operator-facing log");
+        assert!(out.waiver_errors.is_empty());
+
+        let missing = "x(); // lint: allow(no-print)";
+        let out = lex(missing);
+        assert!(out.waivers.is_empty());
+        assert_eq!(out.waiver_errors.len(), 1);
+
+        let unknown = "x(); // lint: deny(everything)";
+        let out = lex(unknown);
+        assert!(out.waivers.is_empty());
+        assert_eq!(out.waiver_errors.len(), 1);
+    }
+
+    #[test]
+    fn doc_comments_cannot_waive() {
+        let out = lex("/// lint: allow(no-print) -- described, not enacted\nfn f() {}");
+        assert!(out.waivers.is_empty());
+        assert!(out.waiver_errors.is_empty());
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules_and_test_fns() {
+        let src = "fn live() { a.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n fn helper() { b.unwrap(); }\n}\n\
+                   #[test]\nfn t() { c.unwrap(); }\n\
+                   #[cfg(not(test))]\nfn also_live() { d.unwrap(); }";
+        let out = lex(src);
+        let mask = test_mask(&out.tokens);
+        let live: Vec<_> = out
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(t, m)| t.text == "unwrap" && !**m)
+            .map(|(t, _)| t.line)
+            .collect();
+        // Only the unwraps in live() and also_live() remain visible.
+        assert_eq!(live.len(), 2);
+    }
+}

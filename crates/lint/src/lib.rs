@@ -1,0 +1,213 @@
+//! lowvcc-lint: the in-repo invariant checker.
+//!
+//! Enforces the workspace's determinism, panic-freedom, typed-error
+//! and layering rules (see `DESIGN.md` §10). The pipeline per file:
+//! lex → mask `#[cfg(test)]` regions → run the rules the path's
+//! policy enables → apply inline waivers → report what is left,
+//! plus meta-diagnostics for malformed, unknown-rule or stale
+//! waivers. Layering is checked once, from the workspace manifests.
+//!
+//! A waiver is a plain `//` comment of the form
+//! `lint: allow(rule-name) -- reason` and suppresses the named rules
+//! on its own line and the line directly below. Doc comments cannot
+//! waive, the reason is mandatory, and a waiver that suppresses
+//! nothing is itself an error — so waivers cannot rot in place.
+
+pub mod layering;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One reported problem, pointing at a workspace-relative file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (one of [`rules::RULE_NAMES`] or a meta-rule:
+    /// `layering`, `waiver-syntax`, `waiver-unknown-rule`,
+    /// `stale-waiver`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints one file's source text under the policy for `rel`.
+/// Returns an empty vec when the path is out of scope.
+pub fn lint_source(rel: &str, source: &str) -> Vec<Diagnostic> {
+    let Some(policy) = policy::policy_for(rel) else {
+        return Vec::new();
+    };
+    if policy.is_empty() {
+        return Vec::new();
+    }
+    let lexed = lexer::lex(source);
+    let mask = lexer::test_mask(&lexed.tokens);
+    let raw = rules::check(&lexed.tokens, &mask, &policy);
+
+    let mut out = Vec::new();
+    let mut waiver_used = vec![false; lexed.waivers.len()];
+
+    'diag: for (line, rule, message) in raw {
+        for (w, waiver) in lexed.waivers.iter().enumerate() {
+            let covers = waiver.line == line || waiver.line + 1 == line;
+            if covers && waiver.rules.iter().any(|r| r == rule) {
+                waiver_used[w] = true;
+                continue 'diag;
+            }
+        }
+        out.push(Diagnostic {
+            file: rel.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    for (line, problem) in &lexed.waiver_errors {
+        out.push(Diagnostic {
+            file: rel.to_string(),
+            line: *line,
+            rule: "waiver-syntax",
+            message: problem.clone(),
+        });
+    }
+    for (w, waiver) in lexed.waivers.iter().enumerate() {
+        for r in &waiver.rules {
+            if !rules::RULE_NAMES.contains(&r.as_str()) {
+                out.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: waiver.line,
+                    rule: "waiver-unknown-rule",
+                    message: format!("waiver names unknown rule `{r}`"),
+                });
+                // An unknown-rule waiver is reported as such, not
+                // additionally as stale.
+                waiver_used[w] = true;
+            }
+        }
+        if !waiver_used[w] {
+            out.push(Diagnostic {
+                file: rel.to_string(),
+                line: waiver.line,
+                rule: "stale-waiver",
+                message: format!(
+                    "waiver for {} suppresses nothing here; delete it",
+                    waiver.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Lints every in-scope source file under `root` plus the manifest
+/// layering, returning all diagnostics sorted by file then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, Path::new(""), &mut files)?;
+    files.sort();
+
+    let mut out = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        out.extend(lint_source(rel, &source));
+    }
+    for v in layering::check_layering(root)? {
+        out.push(Diagnostic {
+            file: v.manifest,
+            line: 1,
+            rule: "layering",
+            message: format!("{} -> {}: {}", v.from, v.to, v.reason),
+        });
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
+
+/// Recursive walk collecting `.rs` paths, skipping build products,
+/// VCS metadata and vendored code at the directory level.
+fn collect_rs_files(root: &Path, rel: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let dir = root.join(rel);
+    for entry in fs::read_dir(&dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with('.') || matches!(name, "target" | "third_party") {
+            continue;
+        }
+        let sub = rel.join(name);
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(root, &sub, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            // Normalize to forward slashes for policy matching.
+            let rel_str = sub
+                .to_str()
+                .map(|s| s.replace('\\', "/"))
+                .unwrap_or_default();
+            if !rel_str.is_empty() {
+                out.push(rel_str);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_covers_its_own_line_and_the_next() {
+        let src = "\
+// lint: allow(no-print) -- operator log\n\
+fn f() { eprintln!(\"x\"); }\n\
+fn g() { eprintln!(\"y\"); }\n";
+        let diags = lint_source("crates/serve/src/lib.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[0].rule, "no-print");
+    }
+
+    #[test]
+    fn stale_waivers_are_reported() {
+        let src = "// lint: allow(no-print) -- nothing here prints\nfn f() {}\n";
+        let diags = lint_source("crates/serve/src/lib.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "stale-waiver");
+    }
+
+    #[test]
+    fn unknown_rule_waivers_are_reported() {
+        let src = "fn f() {} // lint: allow(no-such-rule) -- oops\n";
+        let diags = lint_source("crates/serve/src/lib.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "waiver-unknown-rule");
+    }
+
+    #[test]
+    fn out_of_scope_paths_yield_nothing() {
+        let src = "fn f() { x.unwrap(); eprintln!(\"y\"); }";
+        assert!(lint_source("crates/serve/tests/smoke.rs", src).is_empty());
+        assert!(lint_source("third_party/criterion/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! `lowvcc-lint` binary: lint the workspace, print diagnostics, exit
+//! non-zero when any are found. CI runs this as a blocking job.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(arg) if arg == "--help" || arg == "-h" => {
+            println!("usage: lowvcc-lint [WORKSPACE_ROOT]");
+            println!("Checks the repo's determinism / panic-freedom / typed-error /");
+            println!("layering invariants. Exits 1 when any diagnostic is emitted.");
+            return ExitCode::SUCCESS;
+        }
+        Some(arg) => PathBuf::from(arg),
+        None => PathBuf::from("."),
+    };
+    if args.next().is_some() {
+        eprintln!("usage: lowvcc-lint [WORKSPACE_ROOT]");
+        return ExitCode::from(2);
+    }
+
+    match lowvcc_lint::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("lowvcc-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("lowvcc-lint: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lowvcc-lint: i/o error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -62,20 +62,21 @@
 //! [`ServeSnapshot`] counters surfaced by the `stats` request, and
 //! logged to stderr.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use lowvcc_bench::experiments::{point, point_json, stalls, sweep, table1};
+use lowvcc_bench::lockdep::OrderedMutex;
 use lowvcc_bench::{json, ExperimentContext, ExperimentError, ResultStore};
-use lowvcc_sram::Millivolts;
+use lowvcc_sram::{Millivolts, VoltageError};
+
+use std::fmt;
+use std::sync::Arc;
 
 /// A parsed, validated request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,30 +95,66 @@ pub enum Request {
     Shutdown,
 }
 
-fn parse_vcc(v: Option<&json::Value>, default_mv: u32) -> Result<Millivolts, String> {
+/// Why a request line was rejected before reaching an experiment.
+///
+/// Typed so callers (and tests) can match on the failure instead of
+/// string-comparing; [`fmt::Display`] renders the protocol-level
+/// message the daemon sends back to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The line was not valid JSON.
+    Json(json::JsonError),
+    /// The request object has no string `"experiment"` field.
+    MissingExperiment,
+    /// The `"experiment"` field names no known experiment.
+    UnknownExperiment(String),
+    /// The `"vcc"` field is not a whole number.
+    VccNotInteger,
+    /// The `"vcc"` field does not fit a millivolt count.
+    VccOutOfRange(u64),
+    /// The voltage is outside the calibrated model range.
+    Voltage(VoltageError),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "{e}"),
+            Self::MissingExperiment => write!(f, "request needs a string \"experiment\" field"),
+            Self::UnknownExperiment(other) => write!(f, "unknown experiment {other:?}"),
+            Self::VccNotInteger => write!(f, "\"vcc\" must be a whole number of millivolts"),
+            Self::VccOutOfRange(mv) => write!(f, "\"vcc\" {mv} out of range"),
+            Self::Voltage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+fn parse_vcc(v: Option<&json::Value>, default_mv: u32) -> Result<Millivolts, RequestError> {
     let mv = match v {
         None => default_mv,
-        Some(v) => u32::try_from(
-            v.as_u64()
-                .ok_or_else(|| "\"vcc\" must be a whole number of millivolts".to_string())?,
-        )
-        .map_err(|_| "\"vcc\" out of range".to_string())?,
+        Some(v) => {
+            let raw = v.as_u64().ok_or(RequestError::VccNotInteger)?;
+            u32::try_from(raw).map_err(|_| RequestError::VccOutOfRange(raw))?
+        }
     };
-    Millivolts::new(mv).map_err(|e| e.to_string())
+    Millivolts::new(mv).map_err(RequestError::Voltage)
 }
 
 /// Parses one request line.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message for malformed JSON, unknown
-/// experiments, or out-of-model voltages.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = json::parse(line).map_err(|e| e.to_string())?;
+/// Returns a [`RequestError`] for malformed JSON, unknown experiments,
+/// or out-of-model voltages; its `Display` form is the message the
+/// daemon sends back.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let v = json::parse(line).map_err(RequestError::Json)?;
     let experiment = v
         .get("experiment")
         .and_then(json::Value::as_str)
-        .ok_or_else(|| "request needs a string \"experiment\" field".to_string())?;
+        .ok_or(RequestError::MissingExperiment)?;
     match experiment {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
@@ -128,7 +165,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "table1" => Ok(Request::Table1(parse_vcc(v.get("vcc"), 500)?)),
         "stalls" => Ok(Request::Stalls(parse_vcc(v.get("vcc"), 575)?)),
         "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!("unknown experiment {other:?}")),
+        other => Err(RequestError::UnknownExperiment(other.to_string())),
     }
 }
 
@@ -266,15 +303,11 @@ struct ServeShared {
     active: AtomicUsize,
     /// Clones of every live connection's stream, so the drain phase can
     /// force-shutdown stalled peers at the deadline.
-    registry: Mutex<HashMap<u64, TcpStream>>,
+    registry: OrderedMutex<HashMap<u64, TcpStream>>,
     /// Ids cut by the drain deadline's force-close. A cut socket can
     /// surface to its worker as a plain EOF, so the worker consults
     /// this set to classify the end as `ForceClosed`, not `Done`.
-    cut: Mutex<HashSet<u64>>,
-}
-
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+    cut: OrderedMutex<HashSet<u64>>,
 }
 
 /// Accept-loop poll interval: bounds both shutdown latency and the
@@ -284,6 +317,10 @@ const POLL: Duration = Duration::from_millis(5);
 /// The resident daemon state: context (with its store) plus bookkeeping.
 pub struct Daemon {
     ctx: ExperimentContext,
+    /// The context's result cache, held directly so the hot path never
+    /// has to re-prove `ctx.cache` is populated. `new` guarantees this
+    /// is the same store `ctx.cache` carries.
+    store: Arc<ResultStore>,
     counters: ServeCounters,
 }
 
@@ -292,14 +329,18 @@ impl Daemon {
     /// contexts without one get an in-memory (ephemeral) store attached.
     #[must_use]
     pub fn new(ctx: ExperimentContext) -> Self {
+        let store = ctx
+            .cache
+            .clone()
+            .unwrap_or_else(|| Arc::new(ResultStore::ephemeral()));
         let ctx = if ctx.cache.is_some() {
             ctx
         } else {
-            let store = std::sync::Arc::new(ResultStore::ephemeral());
-            ctx.with_cache(store)
+            ctx.with_cache(Arc::clone(&store))
         };
         Self {
             ctx,
+            store,
             counters: ServeCounters::default(),
         }
     }
@@ -318,10 +359,7 @@ impl Daemon {
     }
 
     fn store(&self) -> &ResultStore {
-        self.ctx
-            .cache
-            .as_deref()
-            .expect("daemon always has a store")
+        &self.store
     }
 
     /// Pre-fills the store: the full sweep grid, plus Table 1 and the
@@ -334,8 +372,11 @@ impl Daemon {
     ///
     /// Propagates simulation and cache failures.
     pub fn warm(&self) -> Result<(), ExperimentError> {
+        // Compile-time-validated grid anchor: the protocol default for
+        // `table1` (500 mV) cannot drift out of the model range.
+        const TABLE1_DEFAULT: Millivolts = Millivolts::literal(500);
         sweep::run_sweep(&self.ctx)?;
-        table1::quantitative_rows_at(&self.ctx, Millivolts::new(500).expect("grid voltage"))?;
+        table1::quantitative_rows_at(&self.ctx, TABLE1_DEFAULT)?;
         stalls::measure(&self.ctx)?;
         Ok(())
     }
@@ -361,8 +402,11 @@ impl Daemon {
     pub fn handle_line(&self, line: &str) -> (String, bool) {
         match parse_request(line) {
             Ok(req) => self.handle(req),
-            Err(msg) => (
-                json::object(&[("ok", json::boolean(false)), ("error", json::string(&msg))]),
+            Err(e) => (
+                json::object(&[
+                    ("ok", json::boolean(false)),
+                    ("error", json::string(&e.to_string())),
+                ]),
                 false,
             ),
         }
@@ -531,11 +575,11 @@ impl Daemon {
             opts,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
-            registry: Mutex::new(HashMap::new()),
-            cut: Mutex::new(HashSet::new()),
+            registry: OrderedMutex::new("serve.registry", HashMap::new()),
+            cut: OrderedMutex::new("serve.cut", HashSet::new()),
         };
         let (conn_tx, conn_rx) = mpsc::channel::<(u64, TcpStream)>();
-        let conn_rx = Mutex::new(conn_rx);
+        let conn_rx = OrderedMutex::new("serve.conn_rx", conn_rx);
         let (event_tx, event_rx) = mpsc::channel::<ConnEvent>();
 
         let result = std::thread::scope(|s| -> io::Result<()> {
@@ -584,12 +628,12 @@ impl Daemon {
                         };
                         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
                         shared.active.fetch_add(1, Ordering::SeqCst);
-                        lock(&shared.registry).insert(next_id, clone);
+                        shared.registry.lock().insert(next_id, clone);
                         if conn_tx.send((next_id, stream)).is_err() {
                             // Every worker is gone — nothing left to
                             // serve with; drain and report.
                             shared.active.fetch_sub(1, Ordering::SeqCst);
-                            lock(&shared.registry).remove(&next_id);
+                            shared.registry.lock().remove(&next_id);
                             self.note_event(&ConnEvent::Error {
                                 conn: next_id,
                                 what: "no worker available to serve the connection".to_string(),
@@ -623,8 +667,8 @@ impl Daemon {
                 // Counted per-connection via ForceClosed events (the
                 // `cut` set reclassifies the worker's terminal event),
                 // so each connection lands in exactly one bucket.
-                let mut cut = lock(&shared.cut);
-                for (id, conn) in lock(&shared.registry).iter() {
+                let mut cut = shared.cut.lock();
+                for (id, conn) in shared.registry.lock().iter() {
                     let _ = conn.shutdown(Shutdown::Both);
                     cut.insert(*id);
                 }
@@ -646,11 +690,11 @@ impl Daemon {
     fn worker(
         &self,
         shared: &ServeShared,
-        conn_rx: &Mutex<mpsc::Receiver<(u64, TcpStream)>>,
+        conn_rx: &OrderedMutex<mpsc::Receiver<(u64, TcpStream)>>,
         events: &mpsc::Sender<ConnEvent>,
     ) {
         loop {
-            let next = lock(conn_rx).recv();
+            let next = conn_rx.lock().recv();
             let Ok((id, stream)) = next else { break };
             let mut event = if shared.shutdown.load(Ordering::SeqCst) {
                 Self::refuse_line(&stream, &shared.opts, "daemon is shutting down", false);
@@ -665,10 +709,10 @@ impl Daemon {
             };
             // A drain-deadline cut can look like a plain EOF to the
             // handler; the cut set gives the honest classification.
-            if lock(&shared.cut).remove(&id) && !matches!(event, ConnEvent::Panicked { .. }) {
+            if shared.cut.lock().remove(&id) && !matches!(event, ConnEvent::Panicked { .. }) {
                 event = ConnEvent::ForceClosed(id);
             }
-            lock(&shared.registry).remove(&id);
+            shared.registry.lock().remove(&id);
             shared.active.fetch_sub(1, Ordering::SeqCst);
             let _ = events.send(event);
         }
@@ -787,20 +831,24 @@ impl Daemon {
             }
             ConnEvent::ForceClosed(conn) => {
                 self.counters.force_closed.fetch_add(1, Ordering::Relaxed);
+                // lint: allow(no-print) -- operator-facing daemon log; also counted in stats
                 eprintln!("lowvcc-serve: connection {conn}: force-closed at the drain deadline");
             }
             ConnEvent::TimedOut(conn) => {
                 self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                // lint: allow(no-print) -- operator-facing daemon log; also counted in stats
                 eprintln!("lowvcc-serve: connection {conn}: timed out waiting on the peer");
             }
             ConnEvent::Error { conn, what } => {
                 self.counters
                     .connection_errors
                     .fetch_add(1, Ordering::Relaxed);
+                // lint: allow(no-print) -- operator-facing daemon log; also counted in stats
                 eprintln!("lowvcc-serve: connection {conn}: {what}");
             }
             ConnEvent::Panicked { conn } => {
                 self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                // lint: allow(no-print) -- operator-facing daemon log; also counted in stats
                 eprintln!("lowvcc-serve: connection {conn}: handler panicked (worker recovered)");
             }
         }

@@ -98,7 +98,8 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     // Same grammar and degenerate-input rejections as `experiments`.
-    let mut ctx = SuiteChoice::parse(&opts.suite)?
+    let mut ctx = SuiteChoice::parse(&opts.suite)
+        .map_err(|e| e.to_string())?
         .build()
         .map_err(|e| e.to_string())?
         .with_parallelism(Parallelism::threads(opts.jobs));

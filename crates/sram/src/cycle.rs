@@ -200,7 +200,8 @@ impl CycleTimeModel {
     /// (the y-axis of the paper's Figure 11a).
     #[must_use]
     pub fn normalized_cycle(&self, v: Millivolts, limiter: TimingLimiter) -> f64 {
-        let anchor = Millivolts::new(700).expect("700 mV in range");
+        const ANCHOR: Millivolts = Millivolts::literal(700);
+        let anchor = ANCHOR;
         self.cycle_time(v, limiter) / self.cycle_time(anchor, TimingLimiter::Logic)
     }
 }

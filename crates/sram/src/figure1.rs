@@ -52,7 +52,8 @@ impl Figure1Series {
     /// Generates the series over a custom sweep.
     #[must_use]
     pub fn generate_over(model: &CycleTimeModel, sweep: VccRange) -> Self {
-        let anchor = Millivolts::new(700).expect("700 mV in range");
+        const ANCHOR: Millivolts = Millivolts::literal(700);
+        let anchor = ANCHOR;
         let unit = model.phase(anchor).picos();
         let rows = sweep
             .iter()

@@ -234,7 +234,8 @@ impl AlphaPowerModel {
     /// ```
     #[must_use]
     pub fn fo4_delay(&self, v: Millivolts) -> Picoseconds {
-        let anchor = Millivolts::new(700).expect("700 mV in range");
+        const ANCHOR: Millivolts = Millivolts::literal(700);
+        let anchor = ANCHOR;
         self.fo4_at_700mv * (self.kernel(v) / self.kernel(anchor))
     }
 

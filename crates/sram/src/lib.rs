@@ -55,9 +55,6 @@
 //!   cycle count (the quantitative heart of Figures 11a/11b).
 //! * [`figure1`] — the five delay-vs-Vcc series of the paper's Figure 1.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod array;
 pub mod bitcell;
 pub mod cycle;

@@ -47,9 +47,29 @@ impl Millivolts {
         }
     }
 
+    /// Creates a supply voltage from a compile-time constant, validated
+    /// at compile time: an out-of-range literal fails the build rather
+    /// than the run. This is the panic-free spelling for hard-wired
+    /// grid voltages (e.g. the daemon's 500 mV Table 1 anchor).
+    ///
+    /// ```
+    /// use lowvcc_sram::Millivolts;
+    ///
+    /// const ANCHOR: Millivolts = Millivolts::literal(500);
+    /// assert_eq!(ANCHOR.millivolts(), 500);
+    /// ```
+    #[must_use]
+    pub const fn literal(mv: u32) -> Self {
+        assert!(
+            MIN_MODEL_MV <= mv && mv <= MAX_MODEL_MV,
+            "literal voltage outside the calibrated model range"
+        );
+        Self(mv)
+    }
+
     /// Returns the voltage in millivolts.
     #[must_use]
-    pub fn millivolts(self) -> u32 {
+    pub const fn millivolts(self) -> u32 {
         self.0
     }
 
@@ -210,6 +230,16 @@ mod tests {
     fn boundary_values_accepted() {
         assert!(Millivolts::new(MIN_MODEL_MV).is_ok());
         assert!(Millivolts::new(MAX_MODEL_MV).is_ok());
+    }
+
+    #[test]
+    fn literal_matches_fallible_construction() {
+        const ANCHOR: Millivolts = Millivolts::literal(500);
+        assert_eq!(Some(ANCHOR), Millivolts::new(500).ok());
+        const LOW: Millivolts = Millivolts::literal(MIN_MODEL_MV);
+        const HIGH: Millivolts = Millivolts::literal(MAX_MODEL_MV);
+        assert_eq!(LOW.millivolts(), MIN_MODEL_MV);
+        assert_eq!(HIGH.millivolts(), MAX_MODEL_MV);
     }
 
     #[test]

@@ -17,9 +17,6 @@
 //! # Ok::<(), lowvcc_trace::TraceError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod addr;
 pub mod arena;
 pub mod dist;

@@ -26,9 +26,6 @@
 //! assert_eq!(sb.pattern(Reg::new(0).unwrap()), 0b0001011);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bpred;
 pub mod buffers;
 pub mod cache;

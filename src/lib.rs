@@ -3,8 +3,6 @@
 //! Facade crate re-exporting the whole workspace. See the README for the
 //! architecture overview and `DESIGN.md` for the paper-to-module map.
 
-#![forbid(unsafe_code)]
-
 pub mod error;
 
 pub use error::Error;
