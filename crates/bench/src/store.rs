@@ -140,10 +140,18 @@ pub struct StoreStats {
     pub write_failures: u64,
     /// Stale `*.tmp.*` publish leftovers removed at startup.
     pub orphans_swept: u64,
+    /// Inserts for keys outside this store's owned slice (sharded
+    /// daemons only): kept in memory, never published to disk.
+    pub foreign_puts: u64,
     /// Whether the store has latched memory-only (degraded) mode after a
     /// publish exhausted its retries. Sticky until restart.
     pub degraded: bool,
 }
+
+/// Predicate deciding whether this store instance *owns* a key's disk
+/// slot — the sharded serve tier's consistent-hash ring, closed over a
+/// shard index. Stores without one (the default) own every key.
+pub type KeyOwnership = Arc<dyn Fn(SimKey) -> bool + Send + Sync>;
 
 thread_local! {
     // Per-thread miss tally across all stores. A serve worker handles a
@@ -322,7 +330,10 @@ pub struct ResultStore {
     retries: AtomicU64,
     write_failures: AtomicU64,
     pub(crate) orphans_swept: AtomicU64,
+    foreign_puts: AtomicU64,
     degraded: AtomicBool,
+    /// `None` = this store owns every key (the single-daemon shape).
+    owned: Option<KeyOwnership>,
 }
 
 impl fmt::Debug for ResultStore {
@@ -395,7 +406,22 @@ impl ResultStore {
             retries: AtomicU64::new(0),
             write_failures: AtomicU64::new(0),
             orphans_swept: AtomicU64::new(0),
+            foreign_puts: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
+            owned: None,
+        }
+    }
+
+    /// Restricts disk ownership to the keys `owner` accepts (the
+    /// sharded serve tier hands each shard its ring slice). Results for
+    /// non-owned keys still land in this store's memory tier — they are
+    /// valid, just another shard's to persist — and are tallied in
+    /// [`StoreStats::foreign_puts`].
+    #[must_use]
+    pub fn with_key_owner(self, owner: KeyOwnership) -> Self {
+        Self {
+            owned: Some(owner),
+            ..self
         }
     }
 
@@ -427,6 +453,7 @@ impl ResultStore {
             retries: self.retries.load(Ordering::Relaxed),
             write_failures: self.write_failures.load(Ordering::Relaxed),
             orphans_swept: self.orphans_swept.load(Ordering::Relaxed),
+            foreign_puts: self.foreign_puts.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
@@ -630,6 +657,15 @@ impl ResultStore {
     pub fn put(&self, key: SimKey, result: &SimResult) {
         self.lru.lock().insert(key, result.clone());
         self.stores.fetch_add(1, Ordering::Relaxed);
+        if let Some(owner) = &self.owned {
+            if !owner(key) {
+                // Another shard's slice: the result is still valid (and
+                // cached in memory above), but its disk slot belongs to
+                // the owning shard — publishing here would race it.
+                self.foreign_puts.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
         let Some(path) = self.entry_path(key) else {
             return;
         };

@@ -16,6 +16,7 @@
 //! ```text
 //! {"experiment": "ping"}
 //! {"experiment": "stats"}
+//! {"experiment": "metrics"}                → latency histograms + counters
 //! {"experiment": "sweep"}                  → all 13 voltages
 //! {"experiment": "sweep", "vcc": 575}      → one operating point
 //! {"experiment": "table1", "vcc": 500}     → quantitative Table 1 rows
@@ -33,50 +34,67 @@
 //! retries), `quarantined` (records moved aside after failed reads),
 //! `retries`, `write_failures` and `orphans_swept`. The daemon keeps
 //! answering queries in degraded mode — the disk is an optimization,
-//! never a dependency (see DESIGN.md §9).
+//! never a dependency (see DESIGN.md §9). `metrics` returns the
+//! [`metrics::Metrics`] registry: fixed-bucket per-op latency
+//! histograms, the dispatch-queue gauge, connection outcomes, and the
+//! store's hit-rate (DESIGN.md §11).
 //!
 //! ## Concurrency model
 //!
-//! The accept loop dispatches each connection to a bounded pool of
-//! worker threads (see [`ServeOptions::threads`]) which share the
-//! resident context and store, so a slow or stalled client occupies one
-//! worker, not the daemon. When
+//! One **event-loop thread** owns every socket through a raw-`epoll`
+//! [`reactor`]: nonblocking accept, NDJSON framing over partial reads,
+//! response flushing under write backpressure, and idle/stall deadlines
+//! as the epoll timeout — so idle or slow clients cost zero threads (see
+//! [`conn`]). Complete request lines are dispatched to a bounded pool of
+//! [`ServeOptions::threads`] workers; a simulating request additionally
+//! fans out over the context's own parallelism. When
 //! [`max_connections`](ServeOptions::max_connections) connections are
-//! already in flight, excess clients are refused immediately with the
-//! typed busy error `{"ok": false, "error": "busy: …", "busy": true}`
-//! instead of queueing unboundedly. Identical concurrent cold queries
-//! are deduplicated by the store's single-flight layer — one engine
+//! open, excess clients are refused immediately with the typed busy
+//! error `{"ok": false, "error": "busy: …", "busy": true}` instead of
+//! queueing unboundedly. Identical concurrent cold queries are
+//! deduplicated by the store's single-flight layer — one engine
 //! invocation per key, everyone else reuses the published result.
 //!
-//! Per-connection sockets get both **read and write timeouts**
-//! (slow-loris hardening: a peer that never sends a byte, or never
-//! drains its response, is cut loose after the timeout). `shutdown`
-//! answers, stops the accept loop, drains in-flight connections for at
-//! most [`drain_deadline`](ServeOptions::drain_deadline), then
-//! force-closes whatever is still stalled — a wedged *peer* cannot
-//! postpone daemon exit. (A request already inside the engine is the
-//! one thing the deadline does not cut: simulations have no
+//! A peer that never sends a full line is reaped at the idle deadline;
+//! one that stops draining its response is cut at the write-stall
+//! deadline (slow-loris hardening). `shutdown` answers, stops
+//! accepting, refuses queued lines with the shutting-down error, closes
+//! each connection as its last response flushes, and force-closes
+//! whatever is still stalled at
+//! [`drain_deadline`](ServeOptions::drain_deadline) — a wedged *peer*
+//! cannot postpone daemon exit. (A request already inside the engine is
+//! the one thing the deadline does not cut: simulations have no
 //! cancellation point, so exit waits for them and their results are
-//! published to the store.) Per-connection outcomes are reported on an
-//! internal stats channel (never silently dropped), tallied into
-//! [`ServeSnapshot`] counters surfaced by the `stats` request, and
-//! logged to stderr.
+//! published to the store.) Every connection outcome lands in the
+//! [`metrics`] registry, surfaced by `stats`/`metrics` and logged to
+//! stderr.
+//!
+//! ## Sharding
+//!
+//! `--shards N` runs N such daemons, each owning a deterministic slice
+//! of the key space via the [`shard`] consistent-hash ring, behind a
+//! [`router`] that forwards each request to the owning shard and merges
+//! full-grid sweeps byte-identically with the single-process daemon.
 
-use std::collections::{HashMap, HashSet};
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{Shutdown, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::time::{Duration, Instant};
+use std::io;
+use std::net::TcpListener;
+use std::time::Duration;
 
 use lowvcc_bench::experiments::{point, point_json, stalls, sweep, table1};
-use lowvcc_bench::lockdep::OrderedMutex;
 use lowvcc_bench::{json, ExperimentContext, ExperimentError, ResultStore};
-use lowvcc_sram::{Millivolts, VoltageError};
+use lowvcc_sram::{Millivolts, VoltageError, PAPER_SWEEP};
 
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+pub mod conn;
+pub mod metrics;
+pub mod reactor;
+pub mod router;
+pub mod shard;
+
+use metrics::{Metrics, Op};
 
 /// A parsed, validated request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +103,8 @@ pub enum Request {
     Ping,
     /// Cache-traffic counters and suite identity.
     Stats,
+    /// Latency histograms, queue gauge and connection counters.
+    Metrics,
     /// The Figure 11b/12 measurement — one voltage, or the full grid.
     Sweep(Option<Millivolts>),
     /// Quantitative Table 1 rows at a voltage (default 500 mV).
@@ -158,6 +178,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     match experiment {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "sweep" => match v.get("vcc") {
             None => Ok(Request::Sweep(None)),
             some => Ok(Request::Sweep(Some(parse_vcc(some, 0)?))),
@@ -169,27 +190,46 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     }
 }
 
+/// The [`metrics::Op`] class of a parse outcome — errors are tracked
+/// too, under [`Op::Invalid`].
+#[must_use]
+pub fn op_of(parsed: &Result<Request, RequestError>) -> Op {
+    match parsed {
+        Ok(Request::Ping) => Op::Ping,
+        Ok(Request::Stats) => Op::Stats,
+        Ok(Request::Metrics) => Op::Metrics,
+        Ok(Request::Sweep(Some(_))) => Op::SweepPoint,
+        Ok(Request::Sweep(None)) => Op::SweepFull,
+        Ok(Request::Table1(_)) => Op::Table1,
+        Ok(Request::Stalls(_)) => Op::Stalls,
+        Ok(Request::Shutdown) => Op::Shutdown,
+        Err(_) => Op::Invalid,
+    }
+}
+
 /// Tuning knobs for the concurrent serve loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeOptions {
-    /// Worker threads handling connections (the `--threads` flag).
-    /// Clamped up to 1. Workers mostly wait on sockets — a simulating
-    /// request additionally fans out over the context's `--jobs`
-    /// parallelism — so this bounds *concurrent connections served*,
-    /// not CPU use.
+    /// Worker threads computing request responses (the `--threads`
+    /// flag). Clamped up to 1. Sockets live on the event loop, not on
+    /// workers — this bounds *concurrent request compute*, and a
+    /// simulating request additionally fans out over the context's
+    /// `--jobs` parallelism.
     pub threads: usize,
-    /// Connections in flight (accepted, queued or being served) before
-    /// the accept loop refuses new clients with the typed `busy` error
-    /// (the `--max-connections` flag). Clamped up to 1.
+    /// Connections open before the accept gate refuses new clients with
+    /// the typed `busy` error (the `--max-connections` flag). Clamped
+    /// up to 1.
     pub max_connections: usize,
-    /// Per-connection socket read timeout: an idle peer is disconnected
-    /// after this long without sending a full line.
+    /// Idle deadline: a peer with no request in flight and no undrained
+    /// response is disconnected after this long without sending a
+    /// complete line.
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout: a peer that stops draining
-    /// its response is disconnected (slow-loris hardening).
+    /// Write-stall deadline: a peer that stops draining its response is
+    /// disconnected after this long without write progress (slow-loris
+    /// hardening).
     pub write_timeout: Duration,
-    /// After a `shutdown` request, how long in-flight connections get to
-    /// finish before being force-closed.
+    /// After a `shutdown` request, how long still-open connections get
+    /// to drain before being force-closed.
     pub drain_deadline: Duration,
 }
 
@@ -206,7 +246,7 @@ impl Default for ServeOptions {
 }
 
 impl ServeOptions {
-    fn clamped(self) -> Self {
+    pub(crate) fn clamped(self) -> Self {
         Self {
             threads: self.threads.max(1),
             max_connections: self.max_connections.max(1),
@@ -216,103 +256,39 @@ impl ServeOptions {
 }
 
 /// Point-in-time copy of the serve-loop counters (the daemon-level
-/// companion to the store's `StoreStats`). Every dispatched connection
-/// ends in exactly one bucket, so `accepted` always equals `completed +
-/// connection_errors + timeouts + worker_panics + force_closed +
-/// drain_refused` once the daemon has exited.
+/// companion to the store's `StoreStats`), snapshotted from the
+/// [`metrics::Metrics`] registry. Every accepted connection ends in
+/// exactly one terminal bucket, so `accepted` always equals the sum
+/// `completed + connection_errors + timeouts + worker_panics +
+/// force_closed` once the daemon has exited (`drain_refused` counts
+/// *request lines* answered with the shutting-down error, not
+/// connections).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeSnapshot {
-    /// Connections accepted and dispatched to a worker.
+    /// Connections accepted and registered with the event loop.
     pub accepted: u64,
     /// Connections served to completion (EOF or clean close).
     pub completed: u64,
     /// Connections refused with the `busy` error at the accept gate
-    /// (never dispatched, so not part of `accepted`).
+    /// (never registered, so not part of `accepted`).
     pub refused_busy: u64,
     /// Connections ended by an I/O error (reported, not dropped).
     pub connection_errors: u64,
-    /// Connections cut loose by a read/write timeout.
+    /// Connections cut loose by the idle or write-stall deadline.
     pub timeouts: u64,
-    /// Connections whose handler panicked (the worker survives).
+    /// Idle connections reaped by the idle deadline — the subset of
+    /// `timeouts` with no pending output.
+    pub idle_reaped: u64,
+    /// Connections whose request handler panicked (the worker
+    /// survives).
     pub worker_panics: u64,
-    /// Connections cut mid-session by the shutdown drain deadline's
-    /// force-close.
+    /// Connections closed by the shutdown drain (at the deadline, or as
+    /// soon as their last response flushed).
     pub force_closed: u64,
-    /// Connections dequeued after shutdown began: answered with a
-    /// shutting-down error instead of a full session.
+    /// Request lines answered with the shutting-down error after
+    /// shutdown began.
     pub drain_refused: u64,
 }
-
-#[derive(Debug, Default)]
-struct ServeCounters {
-    accepted: AtomicU64,
-    completed: AtomicU64,
-    refused_busy: AtomicU64,
-    connection_errors: AtomicU64,
-    timeouts: AtomicU64,
-    worker_panics: AtomicU64,
-    force_closed: AtomicU64,
-    drain_refused: AtomicU64,
-}
-
-impl ServeCounters {
-    fn snapshot(&self) -> ServeSnapshot {
-        ServeSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            refused_busy: self.refused_busy.load(Ordering::Relaxed),
-            connection_errors: self.connection_errors.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
-            force_closed: self.force_closed.load(Ordering::Relaxed),
-            drain_refused: self.drain_refused.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// How one connection ended — what workers put on the stats channel.
-/// One terminal event per dispatched connection, so the counters
-/// reconcile against `accepted`.
-#[derive(Debug)]
-enum ConnEvent {
-    Done,
-    TimedOut(u64),
-    Error {
-        conn: u64,
-        what: String,
-    },
-    Panicked {
-        conn: u64,
-    },
-    /// Accepted before shutdown, dequeued after: answered with a
-    /// shutting-down error instead of a full session.
-    DrainRefused,
-    /// Cut mid-session by the drain deadline's force-close.
-    ForceClosed(u64),
-}
-
-/// Shared serve-loop state, borrowed by every worker for the duration of
-/// one `serve_with` call.
-struct ServeShared {
-    opts: ServeOptions,
-    /// Flipped by the worker that handles a `shutdown` request; the
-    /// accept loop polls it.
-    shutdown: AtomicBool,
-    /// Connections accepted but not yet finished (queued + active) —
-    /// the backpressure gate compares this against `max_connections`.
-    active: AtomicUsize,
-    /// Clones of every live connection's stream, so the drain phase can
-    /// force-shutdown stalled peers at the deadline.
-    registry: OrderedMutex<HashMap<u64, TcpStream>>,
-    /// Ids cut by the drain deadline's force-close. A cut socket can
-    /// surface to its worker as a plain EOF, so the worker consults
-    /// this set to classify the end as `ForceClosed`, not `Done`.
-    cut: OrderedMutex<HashSet<u64>>,
-}
-
-/// Accept-loop poll interval: bounds both shutdown latency and the
-/// stats-channel drain cadence.
-const POLL: Duration = Duration::from_millis(5);
 
 /// The resident daemon state: context (with its store) plus bookkeeping.
 pub struct Daemon {
@@ -321,7 +297,10 @@ pub struct Daemon {
     /// has to re-prove `ctx.cache` is populated. `new` guarantees this
     /// is the same store `ctx.cache` carries.
     store: Arc<ResultStore>,
-    counters: ServeCounters,
+    metrics: Arc<Metrics>,
+    /// `(index, count)` when this daemon is one shard of a cluster;
+    /// echoed by the `metrics` response.
+    shard: Option<(u32, u32)>,
 }
 
 impl Daemon {
@@ -341,8 +320,18 @@ impl Daemon {
         Self {
             ctx,
             store,
-            counters: ServeCounters::default(),
+            metrics: Arc::new(Metrics::new()),
+            shard: None,
         }
+    }
+
+    /// Marks this daemon as shard `index` of `count` (reported by its
+    /// `metrics` response; the store's key-slice ownership is attached
+    /// to the [`ResultStore`] itself via `with_key_owner`).
+    #[must_use]
+    pub fn with_shard(mut self, index: u32, count: u32) -> Self {
+        self.shard = Some((index, count));
+        self
     }
 
     /// The wrapped context.
@@ -351,11 +340,28 @@ impl Daemon {
         &self.ctx
     }
 
+    /// The daemon's metrics registry (shared with the serve loop).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
     /// Serve-loop counters so far (connection outcomes, refusals,
     /// force-closes). Also surfaced by the `stats` request.
     #[must_use]
     pub fn serve_counters(&self) -> ServeSnapshot {
-        self.counters.snapshot()
+        let m = &self.metrics;
+        ServeSnapshot {
+            accepted: m.accepted.load(Ordering::Relaxed),
+            completed: m.completed.load(Ordering::Relaxed),
+            refused_busy: m.refused_busy.load(Ordering::Relaxed),
+            connection_errors: m.connection_errors.load(Ordering::Relaxed),
+            timeouts: m.timeouts.load(Ordering::Relaxed),
+            idle_reaped: m.idle_reaped.load(Ordering::Relaxed),
+            worker_panics: m.worker_panics.load(Ordering::Relaxed),
+            force_closed: m.force_closed.load(Ordering::Relaxed),
+            drain_refused: m.drain_refused.load(Ordering::Relaxed),
+        }
     }
 
     fn store(&self) -> &ResultStore {
@@ -378,6 +384,33 @@ impl Daemon {
         sweep::run_sweep(&self.ctx)?;
         table1::quantitative_rows_at(&self.ctx, TABLE1_DEFAULT)?;
         stalls::measure(&self.ctx)?;
+        Ok(())
+    }
+
+    /// Shard-aware warm-up: pre-fills only the operating points whose
+    /// routing anchor `ring` assigns to shard `index` — each shard of a
+    /// cluster warms its own slice, together covering exactly what
+    /// [`warm`](Self::warm) covers on a single daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and cache failures.
+    pub fn warm_slice(&self, ring: &shard::Ring, index: u32) -> Result<(), ExperimentError> {
+        const TABLE1_DEFAULT: Millivolts = Millivolts::literal(500);
+        const STALLS_DEFAULT: Millivolts = Millivolts::literal(575);
+        let anchor =
+            |vcc| shard::voltage_anchor(self.ctx.core, &self.ctx.timing, &self.ctx.specs[0], vcc);
+        for vcc in PAPER_SWEEP.iter() {
+            if ring.owns(index, anchor(vcc)) {
+                point(&self.ctx, vcc)?;
+            }
+        }
+        if ring.owns(index, anchor(TABLE1_DEFAULT)) {
+            table1::quantitative_rows_at(&self.ctx, TABLE1_DEFAULT)?;
+        }
+        if ring.owns(index, anchor(STALLS_DEFAULT)) {
+            stalls::measure(&self.ctx)?;
+        }
         Ok(())
     }
 
@@ -432,10 +465,14 @@ impl Daemon {
                 ]),
                 true,
             )),
+            Request::Metrics => Ok((
+                self.metrics.to_json(self.shard, &self.store().stats()),
+                false,
+            )),
             Request::Stats => {
                 let s = self.store().stats();
                 let disk = self.store().disk_entries();
-                let c = self.counters.snapshot();
+                let c = self.serve_counters();
                 Ok((
                     json::object(&[
                         ("ok", json::boolean(true)),
@@ -453,11 +490,13 @@ impl Daemon {
                         ("retries", s.retries.to_string()),
                         ("write_failures", s.write_failures.to_string()),
                         ("orphans_swept", s.orphans_swept.to_string()),
+                        ("foreign_puts", s.foreign_puts.to_string()),
                         ("connections_accepted", c.accepted.to_string()),
                         ("connections_completed", c.completed.to_string()),
                         ("connections_refused", c.refused_busy.to_string()),
                         ("connection_errors", c.connection_errors.to_string()),
                         ("connection_timeouts", c.timeouts.to_string()),
+                        ("idle_reaped", c.idle_reaped.to_string()),
                         ("worker_panics", c.worker_panics.to_string()),
                         ("force_closed", c.force_closed.to_string()),
                         ("drain_refused", c.drain_refused.to_string()),
@@ -538,9 +577,9 @@ impl Daemon {
         }
     }
 
-    /// Runs the concurrent accept loop with [`ServeOptions::default`]
-    /// until a `shutdown` request (or a listener error). See
-    /// [`serve_with`](Self::serve_with).
+    /// Runs the readiness-driven serve loop with
+    /// [`ServeOptions::default`] until a `shutdown` request (or a
+    /// listener error). See [`serve_with`](Self::serve_with).
     ///
     /// # Errors
     ///
@@ -550,308 +589,40 @@ impl Daemon {
         self.serve_with(listener, ServeOptions::default())
     }
 
-    /// Runs the accept loop until a `shutdown` request (or a listener
-    /// error): connections are dispatched over a channel to a bounded
-    /// pool of `opts.threads` workers sharing this daemon's context and
-    /// store; excess clients beyond `opts.max_connections` are refused
-    /// with the typed `busy` error. On shutdown the loop stops
-    /// accepting, drains in-flight connections for
-    /// `opts.drain_deadline`, force-closes socket-stalled stragglers,
-    /// and joins every worker before returning. The deadline bounds
-    /// waiting on *peers*; a connection already simulating runs to
-    /// completion (the engine has no cancellation point) and its
-    /// results are published before exit.
+    /// Runs the readiness-driven serve loop until a `shutdown` request
+    /// (or a listener/reactor error): one event-loop thread owns every
+    /// socket, request lines are dispatched to a bounded pool of
+    /// `opts.threads` workers sharing this daemon's context and store,
+    /// and excess clients beyond `opts.max_connections` are refused with
+    /// the typed `busy` error. See [`conn::run`] for the drain
+    /// semantics.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop I/O failures. Per-connection failures are
-    /// reported on the internal stats channel (see
+    /// Propagates reactor and listener I/O failures. Per-connection
+    /// failures are counted in [`metrics`](Self::metrics) (see
     /// [`serve_counters`](Self::serve_counters)), never silently
     /// dropped, and never kill the daemon.
     pub fn serve_with(&self, listener: &TcpListener, opts: ServeOptions) -> io::Result<()> {
-        let opts = opts.clamped();
-        listener.set_nonblocking(true)?;
-        let shared = ServeShared {
-            opts,
-            shutdown: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
-            registry: OrderedMutex::new("serve.registry", HashMap::new()),
-            cut: OrderedMutex::new("serve.cut", HashSet::new()),
-        };
-        let (conn_tx, conn_rx) = mpsc::channel::<(u64, TcpStream)>();
-        let conn_rx = OrderedMutex::new("serve.conn_rx", conn_rx);
-        let (event_tx, event_rx) = mpsc::channel::<ConnEvent>();
-
-        let result = std::thread::scope(|s| -> io::Result<()> {
-            let shared = &shared;
-            let conn_rx = &conn_rx;
-            for _ in 0..opts.threads {
-                let event_tx = event_tx.clone();
-                s.spawn(move || self.worker(shared, conn_rx, &event_tx));
-            }
-
-            let mut next_id: u64 = 0;
-            let accept_result = loop {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break Ok(());
-                }
-                for ev in event_rx.try_iter() {
-                    self.note_event(&ev);
-                }
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        if shared.active.load(Ordering::SeqCst) >= opts.max_connections {
-                            self.refuse_busy(&stream, &opts);
-                            continue;
-                        }
-                        next_id += 1;
-                        // Prepare before dispatch: the socket must not
-                        // inherit the listener's nonblocking mode, and
-                        // the registry clone is mandatory — a
-                        // connection the drain deadline cannot cut must
-                        // not be served at all. A failure still counts
-                        // one accepted + one error, so the snapshot
-                        // tallies keep reconciling.
-                        let prepared = stream
-                            .set_nonblocking(false)
-                            .and_then(|()| stream.try_clone());
-                        let clone = match prepared {
-                            Ok(clone) => clone,
-                            Err(e) => {
-                                self.counters.accepted.fetch_add(1, Ordering::Relaxed);
-                                self.note_event(&ConnEvent::Error {
-                                    conn: next_id,
-                                    what: format!("cannot prepare accepted socket: {e}"),
-                                });
-                                continue;
-                            }
-                        };
-                        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
-                        shared.active.fetch_add(1, Ordering::SeqCst);
-                        shared.registry.lock().insert(next_id, clone);
-                        if conn_tx.send((next_id, stream)).is_err() {
-                            // Every worker is gone — nothing left to
-                            // serve with; drain and report.
-                            shared.active.fetch_sub(1, Ordering::SeqCst);
-                            shared.registry.lock().remove(&next_id);
-                            self.note_event(&ConnEvent::Error {
-                                conn: next_id,
-                                what: "no worker available to serve the connection".to_string(),
-                            });
-                            break Err(io::Error::other("all serve workers exited"));
-                        }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) => break Err(e),
-                }
-            };
-
-            // Drain: stop feeding workers (channel close ends their recv
-            // loops), give in-flight connections the deadline, then cut
-            // stalled peers loose so a wedged client cannot postpone
-            // exit. The scope join below waits for the workers. Raising
-            // the flag here (also on the listener-error path) makes the
-            // drain uniform: queued connections are refused, cut ones
-            // report ForceClosed rather than spurious errors.
-            shared.shutdown.store(true, Ordering::SeqCst);
-            drop(conn_tx);
-            let deadline = Instant::now() + opts.drain_deadline;
-            while shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-                for ev in event_rx.try_iter() {
-                    self.note_event(&ev);
-                }
-                std::thread::sleep(POLL);
-            }
-            if shared.active.load(Ordering::SeqCst) > 0 {
-                // Counted per-connection via ForceClosed events (the
-                // `cut` set reclassifies the worker's terminal event),
-                // so each connection lands in exactly one bucket.
-                let mut cut = shared.cut.lock();
-                for (id, conn) in shared.registry.lock().iter() {
-                    let _ = conn.shutdown(Shutdown::Both);
-                    cut.insert(*id);
-                }
-            }
-            accept_result
-        });
-
-        let _ = listener.set_nonblocking(false);
-        drop(event_tx);
-        for ev in event_rx.try_iter() {
-            self.note_event(&ev);
-        }
-        result
+        conn::run(self, &self.metrics, listener, opts)
     }
+}
 
-    /// One pool worker: dequeue connections until the channel closes.
-    /// A panicking connection handler is caught and reported — the
-    /// worker (and the daemon) survive it.
-    fn worker(
-        &self,
-        shared: &ServeShared,
-        conn_rx: &OrderedMutex<mpsc::Receiver<(u64, TcpStream)>>,
-        events: &mpsc::Sender<ConnEvent>,
-    ) {
-        loop {
-            let next = conn_rx.lock().recv();
-            let Ok((id, stream)) = next else { break };
-            let mut event = if shared.shutdown.load(Ordering::SeqCst) {
-                Self::refuse_line(&stream, &shared.opts, "daemon is shutting down", false);
-                ConnEvent::DrainRefused
-            } else {
-                match catch_unwind(AssertUnwindSafe(|| {
-                    self.serve_connection(id, &stream, shared)
-                })) {
-                    Ok(ev) => ev,
-                    Err(_) => ConnEvent::Panicked { conn: id },
-                }
-            };
-            // A drain-deadline cut can look like a plain EOF to the
-            // handler; the cut set gives the honest classification.
-            if shared.cut.lock().remove(&id) && !matches!(event, ConnEvent::Panicked { .. }) {
-                event = ConnEvent::ForceClosed(id);
-            }
-            shared.registry.lock().remove(&id);
-            shared.active.fetch_sub(1, Ordering::SeqCst);
-            let _ = events.send(event);
-        }
-    }
-
-    /// Serves connection `id` to EOF (or timeout/error); returns its
-    /// terminal event.
-    fn serve_connection(&self, id: u64, stream: &TcpStream, shared: &ServeShared) -> ConnEvent {
-        // Slow-loris hardening: a peer that never sends a byte, or
-        // never drains its response, must not pin this worker past the
-        // timeouts. A failure to arm them is itself an error — serving
-        // an untimed socket is exactly the bug this guards against.
-        if let Err(e) = stream
-            .set_read_timeout(Some(shared.opts.read_timeout))
-            .and_then(|()| stream.set_write_timeout(Some(shared.opts.write_timeout)))
-        {
-            return ConnEvent::Error {
-                conn: id,
-                what: format!("cannot arm socket timeouts: {e}"),
-            };
-        }
-        let mut writer = stream;
-        let mut reader = BufReader::new(stream);
-        let mut line = String::new();
-        loop {
-            line.clear();
-            match reader.read_line(&mut line) {
-                Ok(0) => return ConnEvent::Done,
-                Ok(_) => {}
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    return ConnEvent::TimedOut(id);
-                }
-                Err(e) => {
-                    // A drain-deadline force-shutdown can surface here
-                    // as a read error; the worker's cut-set check
-                    // reclassifies exactly those, so a genuine peer
-                    // fault during drain still reports as an error.
-                    return ConnEvent::Error {
-                        conn: id,
-                        what: format!("read: {e}"),
-                    };
-                }
-            }
-            if line.trim().is_empty() {
-                continue;
-            }
-            let (response, stop) = self.handle_line(line.trim_end());
-            if let Err(e) = writer
-                .write_all(response.as_bytes())
-                .and_then(|()| writer.write_all(b"\n"))
-                .and_then(|()| writer.flush())
-            {
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) {
-                    return ConnEvent::TimedOut(id);
-                }
-                return ConnEvent::Error {
-                    conn: id,
-                    what: format!("write: {e}"),
-                };
-            }
-            if stop {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                return ConnEvent::Done;
-            }
-        }
-    }
-
-    /// Refuses a connection at the accept gate with the typed `busy`
-    /// error: `{"ok": false, "error": "busy: …", "busy": true}`.
-    fn refuse_busy(&self, stream: &TcpStream, opts: &ServeOptions) {
-        self.counters.refused_busy.fetch_add(1, Ordering::Relaxed);
-        Self::refuse_line(
-            stream,
-            opts,
-            &format!(
-                "busy: {} connections already in flight, retry later",
-                opts.max_connections
+impl conn::Service for Daemon {
+    fn call(&self, line: &str) -> conn::Reply {
+        let parsed = parse_request(line);
+        let op = op_of(&parsed);
+        let (body, stop) = match parsed {
+            Ok(req) => self.handle(req),
+            Err(e) => (
+                json::object(&[
+                    ("ok", json::boolean(false)),
+                    ("error", json::string(&e.to_string())),
+                ]),
+                false,
             ),
-            true,
-        );
-    }
-
-    fn refuse_line(stream: &TcpStream, opts: &ServeOptions, error: &str, busy: bool) {
-        let mut fields = vec![("ok", json::boolean(false)), ("error", json::string(error))];
-        if busy {
-            fields.push(("busy", json::boolean(true)));
-        }
-        let line = json::object(&fields);
-        // Best-effort: the refusal itself must not be able to wedge the
-        // caller on a slow client.
-        let _ = stream.set_write_timeout(Some(opts.write_timeout.min(Duration::from_secs(1))));
-        let mut w = stream;
-        let _ = w
-            .write_all(line.as_bytes())
-            .and_then(|()| w.write_all(b"\n"))
-            .and_then(|()| w.flush());
-        let _ = stream.shutdown(Shutdown::Both);
-    }
-
-    /// Tallies and logs one connection outcome from the stats channel.
-    fn note_event(&self, ev: &ConnEvent) {
-        match ev {
-            ConnEvent::Done => {
-                self.counters.completed.fetch_add(1, Ordering::Relaxed);
-            }
-            ConnEvent::DrainRefused => {
-                self.counters.drain_refused.fetch_add(1, Ordering::Relaxed);
-            }
-            ConnEvent::ForceClosed(conn) => {
-                self.counters.force_closed.fetch_add(1, Ordering::Relaxed);
-                // lint: allow(no-print) -- operator-facing daemon log; also counted in stats
-                eprintln!("lowvcc-serve: connection {conn}: force-closed at the drain deadline");
-            }
-            ConnEvent::TimedOut(conn) => {
-                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                // lint: allow(no-print) -- operator-facing daemon log; also counted in stats
-                eprintln!("lowvcc-serve: connection {conn}: timed out waiting on the peer");
-            }
-            ConnEvent::Error { conn, what } => {
-                self.counters
-                    .connection_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                // lint: allow(no-print) -- operator-facing daemon log; also counted in stats
-                eprintln!("lowvcc-serve: connection {conn}: {what}");
-            }
-            ConnEvent::Panicked { conn } => {
-                self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
-                // lint: allow(no-print) -- operator-facing daemon log; also counted in stats
-                eprintln!("lowvcc-serve: connection {conn}: handler panicked (worker recovered)");
-            }
-        }
+        };
+        conn::Reply { body, stop, op }
     }
 }
 
@@ -877,6 +648,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"experiment":"table1"}"#),
             Ok(Request::Table1(Millivolts::new(500).unwrap()))
+        );
+        assert_eq!(
+            parse_request(r#"{"experiment":"metrics"}"#),
+            Ok(Request::Metrics)
         );
         assert_eq!(
             parse_request(r#"{"experiment":"shutdown"}"#),
@@ -943,11 +718,28 @@ mod tests {
         assert_eq!(v.get("retries").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("write_failures").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("orphans_swept").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("foreign_puts").unwrap().as_u64(), Some(0));
 
         let (resp, stop) = d.handle_line(r#"{"experiment":"shutdown"}"#);
         assert!(stop);
         let v = json::parse(&resp).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn metrics_request_reports_histograms_and_hit_rate() {
+        let d = daemon();
+        let (_, _) = d.handle_line(r#"{"experiment":"sweep","vcc":575}"#);
+        let (resp, stop) = d.handle_line(r#"{"experiment":"metrics"}"#);
+        assert!(!stop);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("experiment").unwrap().as_str(), Some("metrics"));
+        assert!(v.get("shard_index").is_none(), "unsharded daemon");
+        let store = v.get("store").unwrap();
+        assert!(store.get("hit_rate").is_some());
+        let ops = v.get("ops").unwrap().as_array().unwrap();
+        assert_eq!(ops.len(), metrics::Op::ALL.len());
     }
 
     #[test]

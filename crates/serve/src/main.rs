@@ -1,9 +1,14 @@
-//! The `lowvcc-serve` binary: bind, optionally pre-fill, serve.
+//! The `lowvcc-serve` binary: bind, optionally pre-fill, serve — as a
+//! single daemon, an in-process sharded cluster, one shard of a manual
+//! cluster, or a standalone router.
 //!
 //! ```text
 //! lowvcc-serve [--suite quick|standard|paper|NxLEN] [--cache DIR]
 //!              [--jobs N] [--threads N] [--max-connections N]
 //!              [--addr HOST:PORT] [--warm]
+//!              [--shards N] [--ring-seed S]
+//!              [--shard-index I --shard-count N]
+//!              [--route HOST:PORT,HOST:PORT,...]
 //! ```
 //!
 //! Defaults: quick suite, in-memory store, all hardware threads for
@@ -20,6 +25,23 @@
 //! non-default table1/stalls voltages simulate once on demand.
 //! `--cache DIR` shares the store with `experiments --cache DIR` —
 //! either can warm it for the other.
+//!
+//! ## Cluster modes
+//!
+//! `--shards N` starts N shard daemons plus a router in one process:
+//! the router binds `--addr` and is announced on **stdout** as
+//! `lowvcc-serve router listening on HOST:PORT`; each shard binds an
+//! ephemeral port announced on **stderr** (`lowvcc-serve shard I
+//! listening on HOST:PORT`) — harnesses scrape stdout and always get
+//! the front door. All shards share `--cache DIR` safely: each only
+//! publishes the key slice the deterministic ring (seeded by
+//! `--ring-seed`) assigns to it. With `--warm`, each shard pre-fills
+//! exactly its own slice.
+//!
+//! `--shard-index I --shard-count N` runs one such shard standalone
+//! (for multi-process clusters); `--route a,b,c` runs the router alone
+//! over already-running shards, which must have been started with the
+//! same suite, shard count and ring seed.
 
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -27,11 +49,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use lowvcc_bench::{ResultStore, SuiteChoice};
-use lowvcc_core::Parallelism;
+use lowvcc_core::{CoreConfig, Parallelism};
+use lowvcc_serve::router::{start_cluster, ClusterOptions, Router};
+use lowvcc_serve::shard::{Ring, DEFAULT_RING_SEED};
 use lowvcc_serve::{Daemon, ServeOptions};
+use lowvcc_sram::CycleTimeModel;
 
 const USAGE: &str = "usage: lowvcc-serve [--suite quick|standard|paper|NxLEN] [--cache DIR] \
-                     [--jobs N] [--threads N] [--max-connections N] [--addr HOST:PORT] [--warm]";
+                     [--jobs N] [--threads N] [--max-connections N] [--addr HOST:PORT] [--warm] \
+                     [--shards N] [--ring-seed S] [--shard-index I --shard-count N] \
+                     [--route HOST:PORT,...]";
 
 struct Options {
     suite: String,
@@ -40,6 +67,11 @@ struct Options {
     serve: ServeOptions,
     addr: String,
     warm: bool,
+    shards: Option<u32>,
+    shard_index: Option<u32>,
+    shard_count: Option<u32>,
+    route: Option<String>,
+    ring_seed: u64,
     help: bool,
 }
 
@@ -51,6 +83,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
         serve: ServeOptions::default(),
         addr: "127.0.0.1:0".to_string(),
         warm: false,
+        shards: None,
+        shard_index: None,
+        shard_count: None,
+        route: None,
+        ring_seed: DEFAULT_RING_SEED,
         help: false,
     };
     let mut args = args.into_iter();
@@ -68,6 +105,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
                 Some(v) => o.addr = v,
                 None => return Err("--addr needs a value".into()),
             },
+            "--route" => match args.next() {
+                Some(v) => o.route = Some(v),
+                None => return Err("--route needs a comma-separated address list".into()),
+            },
             "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => o.jobs = n,
                 Some(_) => return Err("--jobs needs a positive integer".into()),
@@ -83,34 +124,163 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
                 Some(_) => return Err("--max-connections needs a positive integer".into()),
                 None => return Err("--max-connections needs a value".into()),
             },
+            "--shards" => match args.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) if n > 0 => o.shards = Some(n),
+                Some(_) => return Err("--shards needs a positive integer".into()),
+                None => return Err("--shards needs a value".into()),
+            },
+            "--shard-index" => match args.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) => o.shard_index = Some(n),
+                Some(Err(_)) => return Err("--shard-index needs an integer".into()),
+                None => return Err("--shard-index needs a value".into()),
+            },
+            "--shard-count" => match args.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) if n > 0 => o.shard_count = Some(n),
+                Some(_) => return Err("--shard-count needs a positive integer".into()),
+                None => return Err("--shard-count needs a value".into()),
+            },
+            "--ring-seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => o.ring_seed = s,
+                Some(Err(_)) => return Err("--ring-seed needs an unsigned integer".into()),
+                None => return Err("--ring-seed needs a value".into()),
+            },
             "--warm" => o.warm = true,
             "--help" | "-h" => o.help = true,
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
+    let modes = [
+        o.shards.is_some(),
+        o.shard_index.is_some() || o.shard_count.is_some(),
+        o.route.is_some(),
+    ];
+    if modes.iter().filter(|&&m| m).count() > 1 {
+        return Err(
+            "--shards, --shard-index/--shard-count and --route are mutually exclusive".into(),
+        );
+    }
+    if o.shard_index.is_some() != o.shard_count.is_some() {
+        return Err("--shard-index and --shard-count must be given together".into());
+    }
+    if let (Some(i), Some(n)) = (o.shard_index, o.shard_count) {
+        if i >= n {
+            return Err(format!(
+                "--shard-index {i} out of range for --shard-count {n}"
+            ));
+        }
+    }
     Ok(o)
 }
 
-fn run() -> Result<(), String> {
-    let opts = parse_args(std::env::args().skip(1))?;
-    if opts.help {
-        println!("{USAGE}");
-        return Ok(());
+/// `--shards N`: in-process cluster — N shard daemons plus the router.
+fn run_cluster(opts: &Options, shards: u32) -> Result<(), String> {
+    let choice = SuiteChoice::parse(&opts.suite).map_err(|e| e.to_string())?;
+    let cluster = start_cluster(
+        choice,
+        &ClusterOptions {
+            shards,
+            seed: opts.ring_seed,
+            jobs: opts.jobs,
+            cache: opts.cache.clone(),
+            warm: opts.warm,
+            serve: opts.serve,
+            router_addr: opts.addr.clone(),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    for (i, addr) in cluster.shard_addrs().iter().enumerate() {
+        eprintln!("lowvcc-serve shard {i} listening on {addr}");
     }
+    // stdout carries only the front door, so port-scraping harnesses
+    // cannot pick up a shard by mistake.
+    println!("lowvcc-serve router listening on {}", cluster.router_addr());
+    eprintln!(
+        "cluster of {shards} shards (ring seed {}), {} jobs each; \
+         send {{\"experiment\":\"shutdown\"}} to the router to stop",
+        opts.ring_seed, opts.jobs,
+    );
+    cluster.join().map_err(|e| e.to_string())?;
+    eprintln!("shutdown requested; cluster exited cleanly");
+    Ok(())
+}
+
+/// `--route a,b,c`: standalone router over already-running shards.
+fn run_router(opts: &Options, route: &str) -> Result<(), String> {
+    let shards: Vec<String> = route
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(ToString::to_string)
+        .collect();
+    if shards.is_empty() {
+        return Err("--route needs at least one shard address".into());
+    }
+    // Only the spec identities are needed — no traces are generated.
+    let specs = SuiteChoice::parse(&opts.suite)
+        .map_err(|e| e.to_string())?
+        .specs();
+    let ring = Ring::new(shards.len() as u32, opts.ring_seed);
+    let shard_count = shards.len();
+    let router = Router::new(
+        shards,
+        ring,
+        CoreConfig::silverthorne(),
+        CycleTimeModel::silverthorne_45nm(),
+        specs[0],
+    );
+    let listener =
+        TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("no local address: {e}"))?;
+    println!("lowvcc-serve router listening on {local}");
+    eprintln!(
+        "routing over {shard_count} shards (ring seed {}); \
+         send {{\"experiment\":\"shutdown\"}} to stop the whole cluster",
+        opts.ring_seed,
+    );
+    router
+        .serve_with(&listener, opts.serve)
+        .map_err(|e| e.to_string())?;
+    eprintln!("shutdown requested; exiting cleanly");
+    Ok(())
+}
+
+/// Default mode (and `--shard-index I --shard-count N`): one daemon.
+fn run_daemon(opts: &Options) -> Result<(), String> {
     // Same grammar and degenerate-input rejections as `experiments`.
     let mut ctx = SuiteChoice::parse(&opts.suite)
         .map_err(|e| e.to_string())?
         .build()
         .map_err(|e| e.to_string())?
         .with_parallelism(Parallelism::threads(opts.jobs));
-    if let Some(dir) = &opts.cache {
-        let store = ResultStore::open(dir).map_err(|e| e.to_string())?;
-        ctx = ctx.with_cache(Arc::new(store));
+    let shard = opts
+        .shard_index
+        .zip(opts.shard_count)
+        .map(|(i, n)| (i, Ring::new(n, opts.ring_seed)));
+    let mut store = match &opts.cache {
+        Some(dir) => ResultStore::open(dir).map_err(|e| e.to_string())?,
+        None => ResultStore::ephemeral(),
+    };
+    if let Some((index, ring)) = shard {
+        store = store.with_key_owner(Arc::new(move |key| ring.owns(index, key)));
     }
-    let daemon = Daemon::new(ctx);
+    ctx = ctx.with_cache(Arc::new(store));
+    let mut daemon = Daemon::new(ctx);
+    if let Some((index, ring)) = shard {
+        daemon = daemon.with_shard(index, ring.shards());
+    }
     if opts.warm {
-        eprintln!("warming the store (full sweep grid + Table 1 + stall study)…");
-        daemon.warm().map_err(|e| e.to_string())?;
+        match shard {
+            Some((index, ring)) => {
+                eprintln!("warming this shard's slice of the sweep grid…");
+                daemon.warm_slice(&ring, index).map_err(|e| e.to_string())?;
+            }
+            None => {
+                eprintln!("warming the store (full sweep grid + Table 1 + stall study)…");
+                daemon.warm().map_err(|e| e.to_string())?;
+            }
+        }
         eprintln!("store warm");
     }
     let listener =
@@ -139,6 +309,21 @@ fn run() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     eprintln!("shutdown requested; exiting cleanly");
     Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args(std::env::args().skip(1))?;
+    if opts.help {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    if let Some(shards) = opts.shards {
+        run_cluster(&opts, shards)
+    } else if let Some(route) = opts.route.clone() {
+        run_router(&opts, &route)
+    } else {
+        run_daemon(&opts)
+    }
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,599 @@
+//! The cluster front door: a request router over N shard daemons.
+//!
+//! A [`Router`] speaks the same NDJSON protocol as a single
+//! [`Daemon`] and is served by the same readiness-driven loop
+//! ([`crate::conn::run`]). It owns no simulator and no store — it
+//! classifies each request, forwards it **verbatim** to the shard the
+//! consistent-hash [`Ring`] assigns, and relays the shard's response
+//! bytes unchanged. Full-grid sweeps are the one request that spans
+//! shards: the router fans the 13 voltages out to their owners in
+//! parallel, then merges the returned points back into grid order
+//! through the canonical JSON renderer — producing a response
+//! **byte-identical** to a single-process daemon's (`json::render` is
+//! the emitters' own canonical form, and `f64` round-trips exactly).
+//!
+//! `stats` and `metrics` are aggregates, not relays: the router sums
+//! shard histograms element-wise and pools store traffic into a
+//! cluster-wide hit-rate, attaching each shard's verbatim response for
+//! drill-down. `shutdown` fans out to every shard before stopping the
+//! router itself.
+//!
+//! [`start_cluster`] wires the whole thing up in one process: N shard
+//! daemons on ephemeral ports — each with a store that only publishes
+//! its own key slice (`with_key_owner`) — plus the router, each on its
+//! own thread. The CLI's `--shards N` flag and the integration tests
+//! both go through it.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lowvcc_bench::{json, ResultStore, StoreStats, SuiteChoice};
+use lowvcc_core::{CoreConfig, Parallelism};
+use lowvcc_sram::{CycleTimeModel, Millivolts, PAPER_SWEEP};
+use lowvcc_trace::TraceSpec;
+
+use crate::conn;
+use crate::metrics::{op_json, store_json, HistogramSnapshot, Metrics, Op, LATENCY_BUCKETS};
+use crate::shard::{voltage_anchor, Ring};
+use crate::{op_of, parse_request, Daemon, Request, ServeOptions};
+
+/// How long the router waits on a shard for one relayed response.
+/// Generous by default: a cold full-grid point at paper scale simulates
+/// for minutes.
+pub const DEFAULT_RELAY_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// The cluster front door. Cheap to construct (no traces, no store):
+/// everything it needs is the shard addresses, the ring, and the anchor
+/// identity (core + timing + first trace spec) that maps a voltage to
+/// its owning shard.
+pub struct Router {
+    shards: Vec<String>,
+    ring: Ring,
+    core: CoreConfig,
+    timing: CycleTimeModel,
+    spec: TraceSpec,
+    relay_timeout: Duration,
+    metrics: Arc<Metrics>,
+}
+
+impl Router {
+    /// A router over `shards` (host:port strings, index-aligned with
+    /// the ring). `core`, `timing` and `spec` must match the shards'
+    /// own context so the routing anchors agree — [`start_cluster`]
+    /// guarantees this; manual wiring must use the same suite.
+    #[must_use]
+    pub fn new(
+        shards: Vec<String>,
+        ring: Ring,
+        core: CoreConfig,
+        timing: CycleTimeModel,
+        spec: TraceSpec,
+    ) -> Self {
+        Self {
+            shards,
+            ring,
+            core,
+            timing,
+            spec,
+            relay_timeout: DEFAULT_RELAY_TIMEOUT,
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+
+    /// Returns the router with a different per-response relay timeout.
+    #[must_use]
+    pub fn with_relay_timeout(mut self, timeout: Duration) -> Self {
+        self.relay_timeout = timeout;
+        self
+    }
+
+    /// The router's own metrics registry (its serve loop records into
+    /// it; the `metrics` request additionally aggregates the shards').
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The ring this router partitions by.
+    #[must_use]
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// The shard a request at `vcc` routes to.
+    #[must_use]
+    pub fn owner_of(&self, vcc: Millivolts) -> u32 {
+        self.ring
+            .owner(voltage_anchor(self.core, &self.timing, &self.spec, vcc))
+    }
+
+    /// Serves the cluster protocol with default options until a
+    /// `shutdown` request (which fans out to every shard first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reactor and listener failures, as [`Daemon::serve`].
+    pub fn serve(&self, listener: &TcpListener) -> io::Result<()> {
+        self.serve_with(listener, ServeOptions::default())
+    }
+
+    /// Serves the cluster protocol until a `shutdown` request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reactor and listener failures, as
+    /// [`Daemon::serve_with`].
+    pub fn serve_with(&self, listener: &TcpListener, opts: ServeOptions) -> io::Result<()> {
+        conn::run(self, &self.metrics, listener, opts)
+    }
+
+    /// Sends `lines` to shard `index` over one fresh connection and
+    /// reads one response per line, in order.
+    fn relay(&self, index: usize, lines: &[String]) -> Result<Vec<String>, String> {
+        let addr = &self.shards[index];
+        let fail =
+            |what: &str, e: &dyn std::fmt::Display| format!("shard {index} ({addr}): {what}: {e}");
+        let stream = TcpStream::connect(addr).map_err(|e| fail("connect", &e))?;
+        stream
+            .set_read_timeout(Some(self.relay_timeout))
+            .map_err(|e| fail("set timeout", &e))?;
+        stream
+            .set_write_timeout(Some(self.relay_timeout))
+            .map_err(|e| fail("set timeout", &e))?;
+        {
+            let mut w = &stream;
+            for line in lines {
+                w.write_all(line.as_bytes()).map_err(|e| fail("send", &e))?;
+                w.write_all(b"\n").map_err(|e| fail("send", &e))?;
+            }
+            w.flush().map_err(|e| fail("send", &e))?;
+        }
+        let mut reader = BufReader::new(&stream);
+        let mut out = Vec::with_capacity(lines.len());
+        for _ in lines {
+            let mut resp = String::new();
+            let n = reader
+                .read_line(&mut resp)
+                .map_err(|e| fail("receive", &e))?;
+            if n == 0 {
+                return Err(fail("receive", &"connection closed mid-conversation"));
+            }
+            out.push(resp.trim_end().to_string());
+        }
+        Ok(out)
+    }
+
+    /// Relays one raw request line to the shard owning `vcc`, returning
+    /// the shard's response bytes unchanged (the byte-identity path for
+    /// `sweep`-at-a-voltage, `table1` and `stalls`).
+    fn relay_to_owner(&self, vcc: Millivolts, raw: &str) -> String {
+        let owner = self.owner_of(vcc) as usize;
+        match self.relay(owner, &[raw.to_string()]) {
+            Ok(mut resps) => resps
+                .pop()
+                .unwrap_or_else(|| error_body("empty shard response")),
+            Err(e) => error_body(&e),
+        }
+    }
+
+    /// Full-grid sweep: fan each voltage to its owning shard (one
+    /// connection per shard, all shards in parallel), then merge the
+    /// returned points back into `PAPER_SWEEP` order. The merged
+    /// response is byte-identical to a single daemon's because every
+    /// point is re-rendered through the same canonical emitter that
+    /// produced it, and `cached` is the conjunction over shards.
+    fn full_sweep(&self) -> String {
+        let shards = self.ring.shards() as usize;
+        let mut owners: Vec<usize> = Vec::new();
+        let mut per_shard: Vec<Vec<String>> = vec![Vec::new(); shards];
+        for vcc in PAPER_SWEEP.iter() {
+            let owner = self.owner_of(vcc) as usize;
+            owners.push(owner);
+            per_shard[owner].push(format!(
+                "{{\"experiment\": \"sweep\", \"vcc\": {}}}",
+                vcc.millivolts()
+            ));
+        }
+        let fanned: Vec<Option<Result<Vec<String>, String>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = per_shard
+                .iter()
+                .enumerate()
+                .map(|(i, lines)| {
+                    (!lines.is_empty()).then(|| s.spawn(move || self.relay(i, lines)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.map(|h| {
+                        h.join()
+                            .unwrap_or_else(|_| Err("relay thread panicked".to_string()))
+                    })
+                })
+                .collect()
+        });
+        let mut replies: Vec<std::vec::IntoIter<String>> = Vec::with_capacity(shards);
+        for r in fanned {
+            match r {
+                None => replies.push(Vec::new().into_iter()),
+                Some(Ok(resps)) => replies.push(resps.into_iter()),
+                Some(Err(e)) => return error_body(&e),
+            }
+        }
+        let mut cached = true;
+        let mut points = Vec::with_capacity(owners.len());
+        for (vcc, owner) in PAPER_SWEEP.iter().zip(owners) {
+            let Some(resp) = replies[owner].next() else {
+                return error_body(&format!(
+                    "shard {owner}: missing response for {} mV",
+                    vcc.millivolts()
+                ));
+            };
+            let v = match json::parse(&resp) {
+                Ok(v) => v,
+                Err(e) => return error_body(&format!("shard {owner}: unparsable response: {e}")),
+            };
+            if v.get("ok").and_then(json::Value::as_bool) != Some(true) {
+                let detail = v
+                    .get("error")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("unknown shard error");
+                return error_body(&format!("shard {owner}: {detail}"));
+            }
+            cached &= v.get("cached").and_then(json::Value::as_bool) == Some(true);
+            let Some(point) = v.get("point") else {
+                return error_body(&format!("shard {owner}: response has no point"));
+            };
+            points.push(json::render(point));
+        }
+        json::object(&[
+            ("ok", json::boolean(true)),
+            ("experiment", json::string("sweep")),
+            ("cached", json::boolean(cached)),
+            ("points", json::array(&points)),
+        ])
+    }
+
+    /// Fans a request to every shard, returning each shard's response
+    /// (or an error body for unreachable shards).
+    fn fan_out(&self, line: &str) -> Vec<String> {
+        let request = [line.to_string()];
+        (0..self.shards.len())
+            .map(|i| match self.relay(i, &request) {
+                Ok(mut resps) => resps
+                    .pop()
+                    .unwrap_or_else(|| error_body("empty shard response")),
+                Err(e) => error_body(&e),
+            })
+            .collect()
+    }
+
+    /// Cluster `metrics`: element-wise merge of the shards' histograms
+    /// and pooled store traffic, with each shard's verbatim response
+    /// attached under `"shards"`.
+    fn aggregate_metrics(&self) -> String {
+        let bodies = self.fan_out("{\"experiment\": \"metrics\"}");
+        let mut store = StoreStats::default();
+        let mut ops = [HistogramSnapshot::default(); Op::ALL.len()];
+        for body in &bodies {
+            let Ok(v) = json::parse(body) else { continue };
+            if v.get("ok").and_then(json::Value::as_bool) != Some(true) {
+                continue;
+            }
+            if let Some(s) = v.get("store") {
+                let n = |k: &str| s.get(k).and_then(json::Value::as_u64).unwrap_or(0);
+                store.hits += n("hits");
+                store.misses += n("misses");
+                store.stores += n("stores");
+                store.coalesced += n("coalesced");
+                store.foreign_puts += n("foreign_puts");
+                store.quarantined += n("quarantined");
+                store.degraded |= s.get("degraded").and_then(json::Value::as_bool) == Some(true);
+            }
+            let Some(shard_ops) = v.get("ops").and_then(json::Value::as_array) else {
+                continue;
+            };
+            for (slot, op) in ops.iter_mut().zip(Op::ALL) {
+                let Some(o) = shard_ops
+                    .iter()
+                    .find(|o| o.get("op").and_then(json::Value::as_str) == Some(op.label()))
+                else {
+                    continue;
+                };
+                *slot = slot.merged(&snapshot_of(o));
+            }
+        }
+        let rendered_ops: Vec<String> = Op::ALL
+            .iter()
+            .zip(&ops)
+            .map(|(&op, snap)| op_json(op, snap))
+            .collect();
+        json::object(&[
+            ("ok", json::boolean(true)),
+            ("experiment", json::string("metrics")),
+            ("router", json::boolean(true)),
+            ("shard_count", self.shards.len().to_string()),
+            ("store", store_json(&store)),
+            ("ops", json::array(&rendered_ops)),
+            ("shards", json::array(&bodies)),
+        ])
+    }
+
+    /// Cluster `stats`: the router's own connection counters plus each
+    /// shard's verbatim `stats` response.
+    fn aggregate_stats(&self) -> String {
+        let bodies = self.fan_out("{\"experiment\": \"stats\"}");
+        let c = {
+            use std::sync::atomic::Ordering::Relaxed;
+            let m = &self.metrics;
+            json::object(&[
+                ("accepted", m.accepted.load(Relaxed).to_string()),
+                ("completed", m.completed.load(Relaxed).to_string()),
+                ("refused", m.refused_busy.load(Relaxed).to_string()),
+                ("errors", m.connection_errors.load(Relaxed).to_string()),
+                ("timeouts", m.timeouts.load(Relaxed).to_string()),
+                ("idle_reaped", m.idle_reaped.load(Relaxed).to_string()),
+            ])
+        };
+        json::object(&[
+            ("ok", json::boolean(true)),
+            ("router", json::boolean(true)),
+            ("shard_count", self.shards.len().to_string()),
+            ("connections", c),
+            ("shards", json::array(&bodies)),
+        ])
+    }
+
+    fn route(&self, req: Request, raw: &str) -> (String, bool) {
+        match req {
+            Request::Ping => (
+                json::object(&[("ok", json::boolean(true)), ("pong", json::boolean(true))]),
+                false,
+            ),
+            Request::Shutdown => {
+                // Best-effort fan-out: a shard that is already gone must
+                // not keep the cluster alive.
+                let _ = self.fan_out("{\"experiment\": \"shutdown\"}");
+                (
+                    json::object(&[
+                        ("ok", json::boolean(true)),
+                        ("shutdown", json::boolean(true)),
+                    ]),
+                    true,
+                )
+            }
+            Request::Stats => (self.aggregate_stats(), false),
+            Request::Metrics => (self.aggregate_metrics(), false),
+            Request::Sweep(None) => (self.full_sweep(), false),
+            Request::Sweep(Some(vcc)) | Request::Table1(vcc) | Request::Stalls(vcc) => {
+                (self.relay_to_owner(vcc, raw), false)
+            }
+        }
+    }
+}
+
+impl conn::Service for Router {
+    fn call(&self, line: &str) -> conn::Reply {
+        let parsed = parse_request(line);
+        let op = op_of(&parsed);
+        let (body, stop) = match parsed {
+            Ok(req) => self.route(req, line),
+            Err(e) => (
+                json::object(&[
+                    ("ok", json::boolean(false)),
+                    ("error", json::string(&e.to_string())),
+                ]),
+                false,
+            ),
+        };
+        conn::Reply { body, stop, op }
+    }
+}
+
+/// Rebuilds a [`HistogramSnapshot`] from one rendered op object (the
+/// wire inverse of [`op_json`]; unknown/short bucket arrays pad with
+/// zero).
+fn snapshot_of(o: &json::Value) -> HistogramSnapshot {
+    let mut snap = HistogramSnapshot {
+        count: o.get("count").and_then(json::Value::as_u64).unwrap_or(0),
+        total_micros: o.get("total_us").and_then(json::Value::as_u64).unwrap_or(0),
+        ..HistogramSnapshot::default()
+    };
+    if let Some(buckets) = o.get("buckets").and_then(json::Value::as_array) {
+        for (slot, b) in snap
+            .buckets
+            .iter_mut()
+            .zip(buckets.iter().take(LATENCY_BUCKETS))
+        {
+            *slot = b.as_u64().unwrap_or(0);
+        }
+    }
+    snap
+}
+
+fn error_body(error: &str) -> String {
+    json::object(&[("ok", json::boolean(false)), ("error", json::string(error))])
+}
+
+/// Why a cluster failed to start or exited uncleanly.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Building a shard (suite, store, bind) failed before serving.
+    Start(String),
+    /// A shard's or the router's serve loop returned an I/O error.
+    Serve(io::Error),
+    /// A cluster thread panicked.
+    ThreadPanicked,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Start(what) => write!(f, "{what}"),
+            Self::Serve(e) => write!(f, "serve loop failed: {e}"),
+            Self::ThreadPanicked => write!(f, "cluster thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Configuration for [`start_cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Number of shard daemons (clamped up to 1 by the ring).
+    pub shards: u32,
+    /// Ring seed — every shard and the router must agree on it.
+    pub seed: u64,
+    /// Simulation threads per shard (`--jobs`).
+    pub jobs: usize,
+    /// Shared on-disk store directory. All shards open the *same*
+    /// directory: key-slice ownership (`with_key_owner`) keeps their
+    /// disk writes disjoint. `None` = per-shard in-memory stores.
+    pub cache: Option<PathBuf>,
+    /// Pre-fill each shard's slice of the sweep grid (plus the
+    /// default-voltage `table1`/`stalls` points) before serving.
+    pub warm: bool,
+    /// Serve-loop options applied to every shard and the router.
+    pub serve: ServeOptions,
+    /// Router bind address (shards always bind `127.0.0.1:0`).
+    pub router_addr: String,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            seed: crate::shard::DEFAULT_RING_SEED,
+            jobs: Parallelism::available().count(),
+            cache: None,
+            warm: false,
+            serve: ServeOptions::default(),
+            router_addr: "127.0.0.1:0".to_string(),
+        }
+    }
+}
+
+/// A running in-process cluster: N shard daemons plus the router, each
+/// on its own thread.
+pub struct Cluster {
+    router_addr: SocketAddr,
+    shard_addrs: Vec<SocketAddr>,
+    threads: Vec<JoinHandle<io::Result<()>>>,
+}
+
+impl Cluster {
+    /// Where clients connect.
+    #[must_use]
+    pub fn router_addr(&self) -> SocketAddr {
+        self.router_addr
+    }
+
+    /// The shard daemons' addresses, index-aligned with the ring.
+    #[must_use]
+    pub fn shard_addrs(&self) -> &[SocketAddr] {
+        &self.shard_addrs
+    }
+
+    /// Waits for the whole cluster to exit (a client's `shutdown`
+    /// request fans out through the router).
+    ///
+    /// # Errors
+    ///
+    /// Reports the first serve-loop failure or thread panic.
+    pub fn join(self) -> Result<(), ClusterError> {
+        let mut first_err = None;
+        for t in self.threads {
+            match t.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(ClusterError::Serve(e));
+                }
+                Err(_) => {
+                    first_err.get_or_insert(ClusterError::ThreadPanicked);
+                }
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    }
+}
+
+/// Builds and starts a full cluster for `choice`: N shard daemons (one
+/// thread each, ephemeral ports, per-slice store ownership, optional
+/// per-slice warm-up) and the router (bound to
+/// [`ClusterOptions::router_addr`]). Returns once every listener is
+/// bound — warm-up proceeds on the shard threads, with early requests
+/// queueing in the listen backlog until their shard is ready.
+///
+/// # Errors
+///
+/// Reports suite-build, store-open and bind failures.
+pub fn start_cluster(choice: SuiteChoice, opts: &ClusterOptions) -> Result<Cluster, ClusterError> {
+    let ring = Ring::new(opts.shards, opts.seed);
+    let mut shard_addrs = Vec::with_capacity(ring.shards() as usize);
+    let mut threads = Vec::with_capacity(ring.shards() as usize + 1);
+    let mut anchor: Option<(CoreConfig, CycleTimeModel, TraceSpec)> = None;
+    for index in 0..ring.shards() {
+        let ctx = choice
+            .build()
+            .map_err(|e| ClusterError::Start(format!("shard {index}: suite: {e}")))?
+            .with_parallelism(Parallelism::threads(opts.jobs));
+        if anchor.is_none() {
+            anchor = Some((ctx.core, ctx.timing, ctx.specs[0]));
+        }
+        let store = match &opts.cache {
+            Some(dir) => ResultStore::open(dir)
+                .map_err(|e| ClusterError::Start(format!("shard {index}: store: {e}")))?,
+            None => ResultStore::ephemeral(),
+        };
+        let store = store.with_key_owner(Arc::new(move |key| ring.owns(index, key)));
+        let daemon = Daemon::new(ctx.with_cache(Arc::new(store))).with_shard(index, ring.shards());
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| ClusterError::Start(format!("shard {index}: bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ClusterError::Start(format!("shard {index}: local addr: {e}")))?;
+        shard_addrs.push(addr);
+        let serve = opts.serve;
+        let warm = opts.warm;
+        threads.push(std::thread::spawn(move || {
+            if warm {
+                daemon
+                    .warm_slice(&ring, index)
+                    .map_err(|e| io::Error::other(e.to_string()))?;
+            }
+            daemon.serve_with(&listener, serve)
+        }));
+    }
+    let Some((core, timing, spec)) = anchor else {
+        return Err(ClusterError::Start(
+            "cluster needs at least one shard".to_string(),
+        ));
+    };
+    let router = Router::new(
+        shard_addrs.iter().map(ToString::to_string).collect(),
+        ring,
+        core,
+        timing,
+        spec,
+    );
+    let listener = TcpListener::bind(&opts.router_addr).map_err(|e| {
+        ClusterError::Start(format!("router: cannot bind {}: {e}", opts.router_addr))
+    })?;
+    let router_addr = listener
+        .local_addr()
+        .map_err(|e| ClusterError::Start(format!("router: local addr: {e}")))?;
+    let serve = opts.serve;
+    threads.push(std::thread::spawn(move || {
+        router.serve_with(&listener, serve)
+    }));
+    Ok(Cluster {
+        router_addr,
+        shard_addrs,
+        threads,
+    })
+}

@@ -1,0 +1,158 @@
+//! Sharding guarantees, end to end: the ring partition of the paper
+//! grid is a pure function of `(shard count, seed)`, and a router
+//! fronting N shard daemons answers every request type byte-identically
+//! to the single-process daemon.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lowvcc_bench::{json, ExperimentContext, SuiteChoice};
+use lowvcc_core::CoreConfig;
+use lowvcc_serve::router::{start_cluster, ClusterOptions};
+use lowvcc_serve::shard::{voltage_anchor, Ring, DEFAULT_RING_SEED};
+use lowvcc_serve::Daemon;
+use lowvcc_sram::{CycleTimeModel, PAPER_SWEEP};
+use lowvcc_trace::suite;
+
+/// The paper grid partitions identically on every independently
+/// constructed ring: 13 sweep voltages × 3 trace specs, anchored and
+/// keyed exactly as the router and store ownership hook do it.
+#[test]
+fn paper_grid_partition_is_deterministic() {
+    let core = CoreConfig::silverthorne();
+    let timing = CycleTimeModel::silverthorne_45nm();
+    let specs = suite(1, 1_000);
+    let specs = &specs[..3];
+
+    for shards in [2u32, 3, 5] {
+        let a = Ring::new(shards, DEFAULT_RING_SEED);
+        let b = Ring::new(shards, DEFAULT_RING_SEED);
+        let mut per_shard = vec![0usize; shards as usize];
+        for vcc in PAPER_SWEEP.iter() {
+            for spec in specs {
+                let key = voltage_anchor(core, &timing, spec, vcc);
+                let owner = a.owner(key);
+                assert_eq!(
+                    owner,
+                    b.owner(key),
+                    "two rings with identical config disagree on {vcc:?}"
+                );
+                assert!(owner < shards, "owner out of range");
+                assert!(a.owns(owner, key));
+                assert!(
+                    !a.owns((owner + 1) % shards, key),
+                    "ownership must be exclusive"
+                );
+                per_shard[owner as usize] += 1;
+            }
+        }
+        assert_eq!(per_shard.iter().sum::<usize>(), 13 * 3);
+        // The jump hash spreads 39 keys over >=2 shards; a fully
+        // lopsided partition would mean the seed or hash regressed.
+        assert!(
+            per_shard.iter().filter(|&&n| n > 0).count() >= 2,
+            "partition over {shards} shards collapsed to one: {per_shard:?}"
+        );
+    }
+}
+
+/// One line of protocol conversation over an existing stream.
+fn roundtrip(stream: &TcpStream, reader: &mut BufReader<&TcpStream>, line: &str) -> String {
+    {
+        let mut w = stream;
+        w.write_all(line.as_bytes()).expect("send");
+        w.write_all(b"\n").expect("send");
+    }
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("receive");
+    assert!(resp.ends_with('\n'), "response must be newline-terminated");
+    resp.trim_end().to_string()
+}
+
+/// A cold 2-shard cluster answers the whole request surface — full
+/// sweep, single sweep point, table 1, stall profile, ping, and a
+/// malformed line — byte-identically to a cold single-process daemon,
+/// and shutdown fans out cleanly.
+#[test]
+fn router_matches_single_daemon_byte_for_byte() {
+    const REQUESTS: &[&str] = &[
+        "{\"experiment\": \"ping\"}",
+        "not json",
+        "{\"experiment\": \"sweep\"}",
+        "{\"experiment\": \"sweep\", \"vcc\": 575}",
+        "{\"experiment\": \"table1\", \"vcc\": 500}",
+        "{\"experiment\": \"stalls\", \"vcc\": 575}",
+    ];
+
+    // Reference: the single-process daemon, cold store, same suite.
+    let single = Daemon::new(ExperimentContext::sized(1, 2_000).expect("suite builds"));
+    let expected: Vec<String> = REQUESTS
+        .iter()
+        .map(|line| single.handle_line(line).0)
+        .collect();
+
+    let cluster = start_cluster(
+        SuiteChoice::Sized {
+            per_family: 1,
+            len: 2_000,
+        },
+        &ClusterOptions {
+            shards: 2,
+            jobs: 2,
+            ..ClusterOptions::default()
+        },
+    )
+    .expect("cluster starts");
+    let router_addr = cluster.router_addr();
+    let shard_addrs = cluster.shard_addrs().to_vec();
+    assert_eq!(shard_addrs.len(), 2);
+
+    let stream = TcpStream::connect(router_addr).expect("connect to router");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let mut reader = BufReader::new(&stream);
+
+    for (line, want) in REQUESTS.iter().zip(&expected) {
+        let got = roundtrip(&stream, &mut reader, line);
+        assert_eq!(&got, want, "sharded response diverges for {line}");
+    }
+
+    // The metrics aggregate is router-specific (not byte-compared):
+    // it must merge both shards and show the sweep traffic.
+    let resp = roundtrip(&stream, &mut reader, "{\"experiment\": \"metrics\"}");
+    let v = json::parse(&resp).expect("metrics aggregate parses");
+    assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(true));
+    assert_eq!(v.get("router").and_then(json::Value::as_bool), Some(true));
+    assert_eq!(v.get("shard_count").and_then(json::Value::as_u64), Some(2));
+    let store = v.get("store").expect("aggregated store stats");
+    assert!(
+        store.get("misses").and_then(json::Value::as_u64) > Some(0),
+        "cold sweep must register misses across the cluster"
+    );
+    let shards = v
+        .get("shards")
+        .and_then(json::Value::as_array)
+        .expect("metrics aggregate must carry per-shard bodies");
+    assert_eq!(shards.len(), 2);
+    for (i, body) in shards.iter().enumerate() {
+        assert_eq!(
+            body.get("shard_index").and_then(json::Value::as_u64),
+            Some(i as u64),
+            "shard bodies must arrive in ring order"
+        );
+    }
+
+    // Shutdown through the router stops the router and both shards.
+    let resp = roundtrip(&stream, &mut reader, "{\"experiment\": \"shutdown\"}");
+    let v = json::parse(&resp).expect("shutdown response parses");
+    assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(true));
+    cluster.join().expect("clean fan-out shutdown");
+    for addr in shard_addrs {
+        assert!(
+            TcpStream::connect(addr).is_err(),
+            "shard {addr} still listening after cluster shutdown"
+        );
+    }
+}
