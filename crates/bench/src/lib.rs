@@ -22,6 +22,7 @@
 //! See the repository README for how to run the `experiments` binary.
 
 pub mod admin;
+pub mod bundle;
 pub mod context;
 pub mod error;
 pub mod experiments;
@@ -32,14 +33,18 @@ pub mod store;
 pub mod store_io;
 pub mod trajectory;
 
-pub use admin::{QuarantineEntry, ScrubReport, StoreSummary, VacuumReport};
+pub use admin::{
+    BundleExportReport, BundleImportReport, QuarantineEntry, ScrubReport, StoreSummary,
+    VacuumReport,
+};
+pub use bundle::{BundleRecord, BUNDLE_FORMAT_VERSION, BUNDLE_MAGIC};
 pub use context::{ExperimentContext, SuiteChoice, SuiteSpecError};
 pub use error::ExperimentError;
 pub use lockdep::{OrderedCondvar, OrderedGuard, OrderedMutex};
 pub use report::TextTable;
 pub use store::{
-    Flight, FlightGuard, FlightWaiter, KeyOwnership, ResultStore, StoreError, StoreStats,
-    QUARANTINE_DIR,
+    Flight, FlightGuard, FlightWaiter, KeyOwnership, RemoteFetch, ResultStore, StoreError,
+    StoreStats, QUARANTINE_DIR,
 };
 pub use store_io::{FaultCounts, FaultKind, FaultPlan, FaultyIo, RealIo, RetryPolicy, StoreIo};
 pub use trajectory::{FamilyThroughput, TrajectoryEntry, TrajectoryFormatError, TRAJECTORY_SCHEMA};

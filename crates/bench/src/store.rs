@@ -143,6 +143,12 @@ pub struct StoreStats {
     /// Inserts for keys outside this store's owned slice (sharded
     /// daemons only): kept in memory, never published to disk.
     pub foreign_puts: u64,
+    /// Local misses that consulted the read-through peer hook (sharded
+    /// daemons only) before falling back to simulation.
+    pub peer_fetches: u64,
+    /// Peer fetches the key's ring owner answered — each one is a
+    /// simulation this node did not have to run.
+    pub peer_hits: u64,
     /// Whether the store has latched memory-only (degraded) mode after a
     /// publish exhausted its retries. Sticky until restart.
     pub degraded: bool,
@@ -152,6 +158,15 @@ pub struct StoreStats {
 /// slot — the sharded serve tier's consistent-hash ring, closed over a
 /// shard index. Stores without one (the default) own every key.
 pub type KeyOwnership = Arc<dyn Fn(SimKey) -> bool + Send + Sync>;
+
+/// Read-through hook consulted on a local miss before the caller
+/// simulates: ask the key's ring owner for its copy (the sharded serve
+/// tier dials the owning shard's `peer_get` endpoint). Must be
+/// **non-cascading** — the hook is never invoked while *serving* a peer
+/// request ([`ResultStore::peek_local`] skips it), so two shards missing
+/// the same key cannot chase each other. Any failure maps to `None`:
+/// peer trouble degrades to a local simulation, never to an error.
+pub type RemoteFetch = Arc<dyn Fn(SimKey) -> Option<SimResult> + Send + Sync>;
 
 thread_local! {
     // Per-thread miss tally across all stores. A serve worker handles a
@@ -331,9 +346,13 @@ pub struct ResultStore {
     write_failures: AtomicU64,
     pub(crate) orphans_swept: AtomicU64,
     foreign_puts: AtomicU64,
+    peer_fetches: AtomicU64,
+    peer_hits: AtomicU64,
     degraded: AtomicBool,
     /// `None` = this store owns every key (the single-daemon shape).
     owned: Option<KeyOwnership>,
+    /// `None` = no read-through peer tier (the single-daemon shape).
+    remote: Option<RemoteFetch>,
 }
 
 impl fmt::Debug for ResultStore {
@@ -407,8 +426,11 @@ impl ResultStore {
             write_failures: AtomicU64::new(0),
             orphans_swept: AtomicU64::new(0),
             foreign_puts: AtomicU64::new(0),
+            peer_fetches: AtomicU64::new(0),
+            peer_hits: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
             owned: None,
+            remote: None,
         }
     }
 
@@ -421,6 +443,19 @@ impl ResultStore {
     pub fn with_key_owner(self, owner: KeyOwnership) -> Self {
         Self {
             owned: Some(owner),
+            ..self
+        }
+    }
+
+    /// Installs a read-through peer hook consulted on local (LRU + disk)
+    /// misses before the caller simulates. A remote hit lands in this
+    /// store's memory tier and counts as a hit plus
+    /// [`StoreStats::peer_hits`]; any hook failure is a plain miss. See
+    /// [`RemoteFetch`] for the no-cascade contract.
+    #[must_use]
+    pub fn with_remote_fetch(self, remote: RemoteFetch) -> Self {
+        Self {
+            remote: Some(remote),
             ..self
         }
     }
@@ -454,6 +489,8 @@ impl ResultStore {
             write_failures: self.write_failures.load(Ordering::Relaxed),
             orphans_swept: self.orphans_swept.load(Ordering::Relaxed),
             foreign_puts: self.foreign_puts.load(Ordering::Relaxed),
+            peer_fetches: self.peer_fetches.load(Ordering::Relaxed),
+            peer_hits: self.peer_hits.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
@@ -485,7 +522,7 @@ impl ResultStore {
         self.simulated_uops.fetch_add(uops, Ordering::Relaxed);
     }
 
-    fn entry_path(&self, key: SimKey) -> Option<PathBuf> {
+    pub(crate) fn entry_path(&self, key: SimKey) -> Option<PathBuf> {
         let hex = key.to_hex();
         self.dir
             .as_ref()
@@ -516,13 +553,46 @@ impl ResultStore {
         eprintln!("lowvcc-store: quarantined {}: {why}", path.display());
     }
 
-    /// Counter-free lookup: LRU first, then disk (promoting a disk hit
-    /// into the LRU). Infallible — a record that cannot be read or
-    /// decoded is quarantined and reported as a miss.
+    /// Counter-free lookup: LRU, then disk, then — only here — the
+    /// read-through peer hook. Infallible: every failure mode degrades
+    /// to a miss.
     fn probe(&self, key: SimKey) -> Option<SimResult> {
+        if let Some(hit) = self.peek_local(key) {
+            return Some(hit);
+        }
+        self.probe_remote(key)
+    }
+
+    /// Local-tiers-only lookup (LRU, then disk, promoting a disk hit
+    /// into the LRU), counter-free and **never** consulting the
+    /// [`RemoteFetch`] hook. This is what a shard answers `peer_get`
+    /// requests from — the no-cascade rule: serving a peer never
+    /// triggers another peer fetch.
+    #[must_use]
+    pub fn peek_local(&self, key: SimKey) -> Option<SimResult> {
         if let Some(hit) = self.lru.lock().get(key) {
             return Some(hit);
         }
+        self.probe_disk(key)
+    }
+
+    /// Asks the read-through hook (if any) for a key both local tiers
+    /// missed. A remote hit is promoted into the LRU: it is a valid
+    /// result, just another shard's to persist, so it never touches
+    /// this store's disk slice.
+    fn probe_remote(&self, key: SimKey) -> Option<SimResult> {
+        let remote = self.remote.as_ref()?;
+        self.peer_fetches.fetch_add(1, Ordering::Relaxed);
+        let result = remote(key)?;
+        self.peer_hits.fetch_add(1, Ordering::Relaxed);
+        self.lru.lock().insert(key, result.clone());
+        Some(result)
+    }
+
+    /// Disk tier of [`peek_local`](Self::peek_local). Infallible — a
+    /// record that cannot be read or decoded is quarantined and
+    /// reported as a miss.
+    fn probe_disk(&self, key: SimKey) -> Option<SimResult> {
         let path = self.entry_path(key)?;
         let bytes = match self.io.read(&path) {
             Ok(b) => b,
@@ -616,9 +686,16 @@ impl ResultStore {
         })
     }
 
+    /// Inserts into the memory tier only — the bundle importer's entry
+    /// point for ephemeral stores, where there is no disk slot to
+    /// publish into.
+    pub(crate) fn insert_memory(&self, key: SimKey, result: &SimResult) {
+        self.lru.lock().insert(key, result.clone());
+    }
+
     /// One publish attempt: fsynced tempfile, atomic rename, directory
     /// fsync — all through the [`StoreIo`] seam.
-    fn try_publish(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    pub(crate) fn try_publish(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         // Entry paths are always `<dir>/<shard>/<key>.bin`, so a parent
         // exists; a path without one degrades like any other publish
         // failure instead of killing the caller.
@@ -820,6 +897,35 @@ mod tests {
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
         assert!(!s.degraded);
+    }
+
+    #[test]
+    fn remote_fetch_fills_local_misses_but_peek_never_cascades() {
+        let (key, result) = run_one();
+        let calls = Arc::new(AtomicU64::new(0));
+        let hook_calls = Arc::clone(&calls);
+        let remote_result = result.clone();
+        let store = ResultStore::ephemeral().with_remote_fetch(Arc::new(move |k| {
+            hook_calls.fetch_add(1, Ordering::Relaxed);
+            (k == key).then(|| remote_result.clone())
+        }));
+        // peek_local (what serves peer_get) never consults the hook —
+        // the no-cascade rule.
+        assert!(store.peek_local(key).is_none());
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        // A real lookup misses locally, fetches from the peer, and
+        // promotes the result into the memory tier.
+        assert_eq!(store.get(key), Some(result.clone()));
+        let s = store.stats();
+        assert_eq!((s.peer_fetches, s.peer_hits, s.hits), (1, 1, 1));
+        // Promoted: the second lookup answers without dialing again.
+        assert_eq!(store.get(key), Some(result));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        // A hook miss is a plain miss.
+        let other = SimKey::from_value(key.value() ^ 1);
+        assert_eq!(store.get(other), None);
+        let s = store.stats();
+        assert_eq!((s.peer_fetches, s.peer_hits, s.misses), (2, 1, 1));
     }
 
     #[test]

@@ -120,6 +120,10 @@ mod tests {
             router.no_std_hash,
             "router merge order must not depend on RandomState"
         );
+        assert!(
+            router.no_panic,
+            "the failover path must degrade, never panic"
+        );
         let conn = policy_for("crates/serve/src/conn.rs").unwrap();
         assert!(
             !conn.no_std_hash,

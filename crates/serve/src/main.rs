@@ -5,10 +5,10 @@
 //! ```text
 //! lowvcc-serve [--suite quick|standard|paper|NxLEN] [--cache DIR]
 //!              [--jobs N] [--threads N] [--max-connections N]
-//!              [--addr HOST:PORT] [--warm]
+//!              [--addr HOST:PORT] [--warm] [--warm-bundle FILE]
 //!              [--shards N] [--ring-seed S]
-//!              [--shard-index I --shard-count N]
-//!              [--route HOST:PORT,HOST:PORT,...]
+//!              [--shard-index I --shard-count N] [--peers HOST:PORT,...]
+//!              [--route HOST:PORT,HOST:PORT,...] [--local-fallback]
 //! ```
 //!
 //! Defaults: quick suite, in-memory store, all hardware threads for
@@ -42,6 +42,19 @@
 //! (for multi-process clusters); `--route a,b,c` runs the router alone
 //! over already-running shards, which must have been started with the
 //! same suite, shard count and ring seed.
+//!
+//! ## Resilience flags
+//!
+//! `--warm-bundle FILE` imports an LVCB warm-cache bundle (produced by
+//! `lowvcc-store export`) into the store before serving — every shard
+//! of a cluster imports it, so a freshly provisioned fleet answers
+//! warm from the first request. `--peers a,b,c` (standalone shard mode
+//! only, index-aligned with the ring, length = `--shard-count`) turns
+//! on read-through peer replication: a key missing locally is fetched
+//! from its ring owner before being simulated. `--local-fallback`
+//! (router mode only) builds a local simulation context so the router
+//! can answer voltage-routed requests itself when every shard is
+//! unreachable; the in-process `--shards N` cluster always has one.
 
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -51,14 +64,15 @@ use std::sync::Arc;
 use lowvcc_bench::{ResultStore, SuiteChoice};
 use lowvcc_core::{CoreConfig, Parallelism};
 use lowvcc_serve::router::{start_cluster, ClusterOptions, Router};
-use lowvcc_serve::shard::{Ring, DEFAULT_RING_SEED};
+use lowvcc_serve::shard::{read_through, Ring, DEFAULT_RING_SEED, PEER_FETCH_TIMEOUT};
 use lowvcc_serve::{Daemon, ServeOptions};
 use lowvcc_sram::CycleTimeModel;
 
 const USAGE: &str = "usage: lowvcc-serve [--suite quick|standard|paper|NxLEN] [--cache DIR] \
                      [--jobs N] [--threads N] [--max-connections N] [--addr HOST:PORT] [--warm] \
-                     [--shards N] [--ring-seed S] [--shard-index I --shard-count N] \
-                     [--route HOST:PORT,...]";
+                     [--warm-bundle FILE] [--shards N] [--ring-seed S] \
+                     [--shard-index I --shard-count N] [--peers HOST:PORT,...] \
+                     [--route HOST:PORT,...] [--local-fallback]";
 
 struct Options {
     suite: String,
@@ -67,10 +81,13 @@ struct Options {
     serve: ServeOptions,
     addr: String,
     warm: bool,
+    warm_bundle: Option<PathBuf>,
     shards: Option<u32>,
     shard_index: Option<u32>,
     shard_count: Option<u32>,
+    peers: Option<String>,
     route: Option<String>,
+    local_fallback: bool,
     ring_seed: u64,
     help: bool,
 }
@@ -83,10 +100,13 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
         serve: ServeOptions::default(),
         addr: "127.0.0.1:0".to_string(),
         warm: false,
+        warm_bundle: None,
         shards: None,
         shard_index: None,
         shard_count: None,
+        peers: None,
         route: None,
+        local_fallback: false,
         ring_seed: DEFAULT_RING_SEED,
         help: false,
     };
@@ -108,6 +128,14 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             "--route" => match args.next() {
                 Some(v) => o.route = Some(v),
                 None => return Err("--route needs a comma-separated address list".into()),
+            },
+            "--peers" => match args.next() {
+                Some(v) => o.peers = Some(v),
+                None => return Err("--peers needs a comma-separated address list".into()),
+            },
+            "--warm-bundle" => match args.next() {
+                Some(v) => o.warm_bundle = Some(PathBuf::from(v)),
+                None => return Err("--warm-bundle needs a file path".into()),
             },
             "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => o.jobs = n,
@@ -145,6 +173,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
                 None => return Err("--ring-seed needs a value".into()),
             },
             "--warm" => o.warm = true,
+            "--local-fallback" => o.local_fallback = true,
             "--help" | "-h" => o.help = true,
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
@@ -169,6 +198,15 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             ));
         }
     }
+    if o.peers.is_some() && o.shard_index.is_none() {
+        return Err("--peers only applies to --shard-index/--shard-count mode".into());
+    }
+    if o.local_fallback && o.route.is_none() {
+        return Err("--local-fallback only applies to --route mode".into());
+    }
+    if o.warm_bundle.is_some() && o.route.is_some() {
+        return Err("--warm-bundle does not apply to --route (the router owns no store)".into());
+    }
     Ok(o)
 }
 
@@ -183,6 +221,7 @@ fn run_cluster(opts: &Options, shards: u32) -> Result<(), String> {
             jobs: opts.jobs,
             cache: opts.cache.clone(),
             warm: opts.warm,
+            warm_bundle: opts.warm_bundle.clone(),
             serve: opts.serve,
             router_addr: opts.addr.clone(),
         },
@@ -215,19 +254,33 @@ fn run_router(opts: &Options, route: &str) -> Result<(), String> {
     if shards.is_empty() {
         return Err("--route needs at least one shard address".into());
     }
-    // Only the spec identities are needed — no traces are generated.
-    let specs = SuiteChoice::parse(&opts.suite)
-        .map_err(|e| e.to_string())?
-        .specs();
+    // Only the spec identities are needed — no traces are generated
+    // (unless `--local-fallback` asks for a last-resort simulator).
+    let choice = SuiteChoice::parse(&opts.suite).map_err(|e| e.to_string())?;
+    let specs = choice.specs();
     let ring = Ring::new(shards.len() as u32, opts.ring_seed);
     let shard_count = shards.len();
-    let router = Router::new(
+    let mut router = Router::new(
         shards,
         ring,
         CoreConfig::silverthorne(),
         CycleTimeModel::silverthorne_45nm(),
         specs[0],
     );
+    if opts.local_fallback {
+        eprintln!("building the local fallback context…");
+        let ctx = choice
+            .build()
+            .map_err(|e| e.to_string())?
+            .with_parallelism(Parallelism::threads(opts.jobs));
+        let store = match &opts.cache {
+            Some(dir) => ResultStore::open(dir).map_err(|e| e.to_string())?,
+            None => ResultStore::ephemeral(),
+        };
+        // Read-only against a shared cache: the shards own every slice.
+        let store = store.with_key_owner(Arc::new(|_| false));
+        router = router.with_local_fallback(Daemon::new(ctx.with_cache(Arc::new(store))));
+    }
     let listener =
         TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     let local = listener
@@ -264,6 +317,32 @@ fn run_daemon(opts: &Options) -> Result<(), String> {
     };
     if let Some((index, ring)) = shard {
         store = store.with_key_owner(Arc::new(move |key| ring.owns(index, key)));
+        if let Some(peers) = &opts.peers {
+            let list: Vec<String> = peers
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(ToString::to_string)
+                .collect();
+            if list.len() as u32 != ring.shards() {
+                return Err(format!(
+                    "--peers lists {} addresses but --shard-count is {}",
+                    list.len(),
+                    ring.shards()
+                ));
+            }
+            store = store.with_remote_fetch(read_through(ring, index, list, PEER_FETCH_TIMEOUT));
+        }
+    }
+    if let Some(bundle) = &opts.warm_bundle {
+        let report = store.import_bundle(bundle).map_err(|e| e.to_string())?;
+        eprintln!(
+            "warm bundle {}: {} imported, {} already present, {} quarantined",
+            bundle.display(),
+            report.imported,
+            report.already_present,
+            report.quarantined
+        );
     }
     ctx = ctx.with_cache(Arc::new(store));
     let mut daemon = Daemon::new(ctx);

@@ -12,33 +12,60 @@
 //! **byte-identical** to a single-process daemon's (`json::render` is
 //! the emitters' own canonical form, and `f64` round-trips exactly).
 //!
+//! ## Resilience
+//!
+//! Every relay goes through a per-shard **circuit breaker**. A closed
+//! breaker relays normally, retrying transport failures under the
+//! store's own [`RetryPolicy`] discipline (bounded exponential backoff
+//! with deterministic jitter). [`BREAKER_STRIKES`] consecutive failures
+//! open the breaker: further requests are refused instantly instead of
+//! burning a connect timeout each. After [`DEFAULT_PROBE_AFTER`] the
+//! next request becomes the **half-open probe** — exactly one, by
+//! compare-and-swap — and its outcome either closes the breaker
+//! (recovery) or re-opens it with a fresh cooldown.
+//!
+//! A request whose owning shard is down **fails over** around the
+//! ring: the next owner simulates the point itself (its read-through
+//! peer hook cannot reach the dead owner, so it recomputes — results
+//! are deterministic, so the bytes match). If *every* shard is
+//! unreachable the router falls back to its own local [`Daemon`]
+//! (see [`Router::with_local_fallback`]), which renders through the
+//! same emitters and therefore stays byte-identical. Only `shutdown`
+//! bypasses the breakers: a restarted shard whose breaker has not yet
+//! re-closed must still hear it.
+//!
 //! `stats` and `metrics` are aggregates, not relays: the router sums
 //! shard histograms element-wise and pools store traffic into a
 //! cluster-wide hit-rate, attaching each shard's verbatim response for
-//! drill-down. `shutdown` fans out to every shard before stopping the
-//! router itself.
+//! drill-down plus a `breakers` health array and the count of
+//! malformed shard metrics fields (`metrics_parse_errors` — a silent
+//! `unwrap_or(0)` would under-report a shard that answers garbage).
+//! `shutdown` fans out to every shard before stopping the router
+//! itself.
 //!
 //! [`start_cluster`] wires the whole thing up in one process: N shard
 //! daemons on ephemeral ports — each with a store that only publishes
-//! its own key slice (`with_key_owner`) — plus the router, each on its
+//! its own key slice (`with_key_owner`) and read-through peer
+//! replication (`with_remote_fetch`) — plus the router, each on its
 //! own thread. The CLI's `--shards N` flag and the integration tests
 //! both go through it.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use lowvcc_bench::{json, ResultStore, StoreStats, SuiteChoice};
+use lowvcc_bench::{json, ResultStore, RetryPolicy, StoreStats, SuiteChoice};
 use lowvcc_core::{CoreConfig, Parallelism};
 use lowvcc_sram::{CycleTimeModel, Millivolts, PAPER_SWEEP};
 use lowvcc_trace::TraceSpec;
 
 use crate::conn;
 use crate::metrics::{op_json, store_json, HistogramSnapshot, Metrics, Op, LATENCY_BUCKETS};
-use crate::shard::{voltage_anchor, Ring};
+use crate::shard::{read_through, voltage_anchor, Ring, PEER_FETCH_TIMEOUT};
 use crate::{op_of, parse_request, Daemon, Request, ServeOptions};
 
 /// How long the router waits on a shard for one relayed response.
@@ -46,10 +73,55 @@ use crate::{op_of, parse_request, Daemon, Request, ServeOptions};
 /// for minutes.
 pub const DEFAULT_RELAY_TIMEOUT: Duration = Duration::from_secs(600);
 
+/// How long an open breaker refuses traffic before admitting one
+/// half-open probe.
+pub const DEFAULT_PROBE_AFTER: Duration = Duration::from_secs(1);
+
+/// Consecutive relay failures that open a shard's circuit breaker.
+pub const BREAKER_STRIKES: u64 = 3;
+
+/// Bound on one relay's TCP connect (reads use the relay timeout).
+const RELAY_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Breaker states, stored in [`ShardHealth::state`].
+const CLOSED: u64 = 0;
+const OPEN: u64 = 1;
+const HALF_OPEN: u64 = 2;
+
+/// One shard's breaker state and lifetime counters (all relaxed
+/// atomics: the counters are monotone telemetry, and the one
+/// transition that must not race — claiming the half-open probe — is
+/// a compare-and-swap).
+#[derive(Default)]
+struct ShardHealth {
+    state: AtomicU64,
+    strikes: AtomicU64,
+    /// Milliseconds since the router's epoch when the breaker opened.
+    opened_at_ms: AtomicU64,
+    relay_errors: AtomicU64,
+    breaker_opens: AtomicU64,
+    probes: AtomicU64,
+    recoveries: AtomicU64,
+    /// Requests this shard owned that another shard (or the local
+    /// fallback) answered.
+    failovers: AtomicU64,
+}
+
+/// What the breaker lets a relay do.
+enum Admission {
+    /// Closed breaker: relay with retries.
+    Normal,
+    /// This caller claimed the half-open probe: one attempt, no retry.
+    Probe,
+    /// Open breaker still cooling down (or a probe is in flight).
+    Refused,
+}
+
 /// The cluster front door. Cheap to construct (no traces, no store):
 /// everything it needs is the shard addresses, the ring, and the anchor
 /// identity (core + timing + first trace spec) that maps a voltage to
-/// its owning shard.
+/// its owning shard. An optional local [`Daemon`] (which *does* carry
+/// a context) serves as the last-resort fallback.
 pub struct Router {
     shards: Vec<String>,
     ring: Ring,
@@ -57,6 +129,13 @@ pub struct Router {
     timing: CycleTimeModel,
     spec: TraceSpec,
     relay_timeout: Duration,
+    retry: RetryPolicy,
+    probe_after: Duration,
+    epoch: Instant,
+    health: Vec<ShardHealth>,
+    local: Option<Daemon>,
+    local_fallbacks: AtomicU64,
+    metrics_parse_errors: AtomicU64,
     metrics: Arc<Metrics>,
 }
 
@@ -73,6 +152,7 @@ impl Router {
         timing: CycleTimeModel,
         spec: TraceSpec,
     ) -> Self {
+        let health = shards.iter().map(|_| ShardHealth::default()).collect();
         Self {
             shards,
             ring,
@@ -80,6 +160,13 @@ impl Router {
             timing,
             spec,
             relay_timeout: DEFAULT_RELAY_TIMEOUT,
+            retry: RetryPolicy::default(),
+            probe_after: DEFAULT_PROBE_AFTER,
+            epoch: Instant::now(),
+            health,
+            local: None,
+            local_fallbacks: AtomicU64::new(0),
+            metrics_parse_errors: AtomicU64::new(0),
             metrics: Arc::new(Metrics::new()),
         }
     }
@@ -88,6 +175,31 @@ impl Router {
     #[must_use]
     pub fn with_relay_timeout(mut self, timeout: Duration) -> Self {
         self.relay_timeout = timeout;
+        self
+    }
+
+    /// Returns the router with a different relay retry schedule
+    /// (`RetryPolicy::none()` disables retries for tests).
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Returns the router with a different open-breaker cooldown.
+    #[must_use]
+    pub fn with_probe_after(mut self, probe_after: Duration) -> Self {
+        self.probe_after = probe_after;
+        self
+    }
+
+    /// Attaches a last-resort local simulator: when no shard can
+    /// answer a voltage-routed request, the router answers it itself.
+    /// The daemon renders through the same emitters as the shards, so
+    /// the fallback body is byte-identical to a healthy relay.
+    #[must_use]
+    pub fn with_local_fallback(mut self, local: Daemon) -> Self {
+        self.local = Some(local);
         self
     }
 
@@ -131,13 +243,83 @@ impl Router {
         conn::run(self, &self.metrics, listener, opts)
     }
 
+    /// Milliseconds since this router was built (the breakers'
+    /// monotonic clock).
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Asks shard `index`'s breaker whether a relay may proceed.
+    fn admit(&self, index: usize) -> Admission {
+        let h = &self.health[index];
+        match h.state.load(Relaxed) {
+            OPEN => {
+                let opened = h.opened_at_ms.load(Relaxed);
+                if self.now_ms().saturating_sub(opened) < ms(self.probe_after) {
+                    return Admission::Refused;
+                }
+                // Cooldown elapsed: exactly one caller wins the probe.
+                if h.state
+                    .compare_exchange(OPEN, HALF_OPEN, Relaxed, Relaxed)
+                    .is_ok()
+                {
+                    h.probes.fetch_add(1, Relaxed);
+                    Admission::Probe
+                } else {
+                    Admission::Refused
+                }
+            }
+            HALF_OPEN => Admission::Refused,
+            _ => Admission::Normal,
+        }
+    }
+
+    /// Records a successful relay: strikes reset, breaker closes.
+    fn note_success(&self, index: usize) {
+        let h = &self.health[index];
+        h.strikes.store(0, Relaxed);
+        if h.state.swap(CLOSED, Relaxed) != CLOSED {
+            h.recoveries.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Records a failed relay: a failed probe re-opens the breaker
+    /// with a fresh cooldown; [`BREAKER_STRIKES`] consecutive failures
+    /// open a closed one.
+    fn note_failure(&self, index: usize) {
+        let h = &self.health[index];
+        h.relay_errors.fetch_add(1, Relaxed);
+        if h.state.load(Relaxed) == HALF_OPEN {
+            h.opened_at_ms.store(self.now_ms(), Relaxed);
+            h.state.store(OPEN, Relaxed);
+            return;
+        }
+        let strikes = h.strikes.fetch_add(1, Relaxed) + 1;
+        if strikes >= BREAKER_STRIKES {
+            // Stamp the open time first so a racing admit cannot see
+            // OPEN with a stale timestamp and probe immediately.
+            h.opened_at_ms.store(self.now_ms(), Relaxed);
+            if h.state
+                .compare_exchange(CLOSED, OPEN, Relaxed, Relaxed)
+                .is_ok()
+            {
+                h.breaker_opens.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
     /// Sends `lines` to shard `index` over one fresh connection and
-    /// reads one response per line, in order.
+    /// reads one response per line, in order. Transport only — no
+    /// breaker, no retry ([`Self::relay_guarded`] adds both).
     fn relay(&self, index: usize, lines: &[String]) -> Result<Vec<String>, String> {
         let addr = &self.shards[index];
         let fail =
             |what: &str, e: &dyn std::fmt::Display| format!("shard {index} ({addr}): {what}: {e}");
-        let stream = TcpStream::connect(addr).map_err(|e| fail("connect", &e))?;
+        let stream = match addr.parse::<SocketAddr>() {
+            Ok(sock) => TcpStream::connect_timeout(&sock, RELAY_CONNECT_TIMEOUT),
+            Err(_) => TcpStream::connect(addr.as_str()),
+        }
+        .map_err(|e| fail("connect", &e))?;
         stream
             .set_read_timeout(Some(self.relay_timeout))
             .map_err(|e| fail("set timeout", &e))?;
@@ -167,25 +349,102 @@ impl Router {
         Ok(out)
     }
 
-    /// Relays one raw request line to the shard owning `vcc`, returning
-    /// the shard's response bytes unchanged (the byte-identity path for
-    /// `sweep`-at-a-voltage, `table1` and `stalls`).
-    fn relay_to_owner(&self, vcc: Millivolts, raw: &str) -> String {
-        let owner = self.owner_of(vcc) as usize;
-        match self.relay(owner, &[raw.to_string()]) {
-            Ok(mut resps) => resps
-                .pop()
-                .unwrap_or_else(|| error_body("empty shard response")),
-            Err(e) => error_body(&e),
+    /// [`Self::relay`] under the shard's circuit breaker: refused
+    /// instantly while the breaker cools down, one attempt when this
+    /// call claims the half-open probe, retried per [`RetryPolicy`]
+    /// otherwise. Every outcome feeds the breaker.
+    fn relay_guarded(&self, index: usize, lines: &[String]) -> Result<Vec<String>, String> {
+        match self.admit(index) {
+            Admission::Refused => Err(format!(
+                "shard {index} ({}): circuit breaker open",
+                self.shards[index]
+            )),
+            Admission::Probe => match self.relay(index, lines) {
+                Ok(resps) => {
+                    self.note_success(index);
+                    Ok(resps)
+                }
+                Err(e) => {
+                    self.note_failure(index);
+                    Err(e)
+                }
+            },
+            Admission::Normal => {
+                let attempts = self.retry.attempts.max(1);
+                let mut last = String::new();
+                for attempt in 1..=attempts {
+                    match self.relay(index, lines) {
+                        Ok(resps) => {
+                            self.note_success(index);
+                            return Ok(resps);
+                        }
+                        Err(e) => {
+                            self.note_failure(index);
+                            last = e;
+                            if attempt < attempts {
+                                std::thread::sleep(self.retry.delay(attempt, index as u64));
+                            }
+                        }
+                    }
+                }
+                Err(last)
+            }
         }
+    }
+
+    /// Answers `raw` from the router's own local daemon, or reports
+    /// every shard's failure when no fallback is attached.
+    fn local_answer(&self, raw: &str, errors: &[String]) -> String {
+        let Some(local) = &self.local else {
+            return error_body(&format!("no shard reachable: {}", errors.join("; ")));
+        };
+        self.local_fallbacks.fetch_add(1, Relaxed);
+        let (body, _) = local.handle_line(raw);
+        body
+    }
+
+    /// Relays one line to shard `owner`, failing over around the ring
+    /// (and finally to the local daemon) until someone answers. A
+    /// non-owner shard recomputes the point deterministically, so the
+    /// response bytes match what the owner would have sent.
+    fn reroute_line(&self, owner: usize, raw: &str) -> String {
+        let request = [raw.to_string()];
+        let mut errors = Vec::new();
+        for step in 0..self.shards.len() {
+            let index = (owner + step) % self.shards.len();
+            match self.relay_guarded(index, &request) {
+                Ok(mut resps) => {
+                    if step > 0 {
+                        self.health[owner].failovers.fetch_add(1, Relaxed);
+                    }
+                    return resps
+                        .pop()
+                        .unwrap_or_else(|| error_body("empty shard response"));
+                }
+                Err(e) => errors.push(e),
+            }
+        }
+        self.local_answer(raw, &errors)
+    }
+
+    /// Relays one raw request line to the shard owning `vcc` — with
+    /// failover — returning the response bytes unchanged (the
+    /// byte-identity path for `sweep`-at-a-voltage, `table1` and
+    /// `stalls`).
+    fn relay_to_owner(&self, vcc: Millivolts, raw: &str) -> String {
+        self.reroute_line(self.owner_of(vcc) as usize, raw)
     }
 
     /// Full-grid sweep: fan each voltage to its owning shard (one
     /// connection per shard, all shards in parallel), then merge the
-    /// returned points back into `PAPER_SWEEP` order. The merged
-    /// response is byte-identical to a single daemon's because every
-    /// point is re-rendered through the same canonical emitter that
-    /// produced it, and `cached` is the conjunction over shards.
+    /// returned points back into `PAPER_SWEEP` order. A shard whose
+    /// whole batch fails gets each of its voltages rerouted
+    /// individually (next ring owner, then the local daemon), so one
+    /// dead shard degrades to failover instead of failing the sweep.
+    /// The merged response is byte-identical to a single daemon's
+    /// because every point is re-rendered through the same canonical
+    /// emitter that produced it, and `cached` is the conjunction over
+    /// shards.
     fn full_sweep(&self) -> String {
         let shards = self.ring.shards() as usize;
         let mut owners: Vec<usize> = Vec::new();
@@ -203,7 +462,7 @@ impl Router {
                 .iter()
                 .enumerate()
                 .map(|(i, lines)| {
-                    (!lines.is_empty()).then(|| s.spawn(move || self.relay(i, lines)))
+                    (!lines.is_empty()).then(|| s.spawn(move || self.relay_guarded(i, lines)))
                 })
                 .collect();
             handles
@@ -217,11 +476,20 @@ impl Router {
                 .collect()
         });
         let mut replies: Vec<std::vec::IntoIter<String>> = Vec::with_capacity(shards);
-        for r in fanned {
+        for (index, r) in fanned.into_iter().enumerate() {
             match r {
                 None => replies.push(Vec::new().into_iter()),
                 Some(Ok(resps)) => replies.push(resps.into_iter()),
-                Some(Err(e)) => return error_body(&e),
+                Some(Err(_)) => {
+                    // The batch failed even after retries (the breaker
+                    // is open by now): fail each voltage over
+                    // one by one.
+                    let rerouted: Vec<String> = per_shard[index]
+                        .iter()
+                        .map(|line| self.reroute_line(index, line))
+                        .collect();
+                    replies.push(rerouted.into_iter());
+                }
             }
         }
         let mut cached = true;
@@ -229,24 +497,33 @@ impl Router {
         for (vcc, owner) in PAPER_SWEEP.iter().zip(owners) {
             let Some(resp) = replies[owner].next() else {
                 return error_body(&format!(
-                    "shard {owner}: missing response for {} mV",
+                    "shard {owner} ({}): missing response for {} mV",
+                    self.shards[owner],
                     vcc.millivolts()
                 ));
             };
             let v = match json::parse(&resp) {
                 Ok(v) => v,
-                Err(e) => return error_body(&format!("shard {owner}: unparsable response: {e}")),
+                Err(e) => {
+                    return error_body(&format!(
+                        "shard {owner} ({}): unparsable response: {e}",
+                        self.shards[owner]
+                    ))
+                }
             };
             if v.get("ok").and_then(json::Value::as_bool) != Some(true) {
                 let detail = v
                     .get("error")
                     .and_then(json::Value::as_str)
                     .unwrap_or("unknown shard error");
-                return error_body(&format!("shard {owner}: {detail}"));
+                return error_body(&format!("shard {owner} ({}): {detail}", self.shards[owner]));
             }
             cached &= v.get("cached").and_then(json::Value::as_bool) == Some(true);
             let Some(point) = v.get("point") else {
-                return error_body(&format!("shard {owner}: response has no point"));
+                return error_body(&format!(
+                    "shard {owner} ({}): response has no point",
+                    self.shards[owner]
+                ));
             };
             points.push(json::render(point));
         }
@@ -258,9 +535,25 @@ impl Router {
         ])
     }
 
-    /// Fans a request to every shard, returning each shard's response
-    /// (or an error body for unreachable shards).
+    /// Fans a request to every shard through the breakers, returning
+    /// each shard's response (or an error body for unreachable
+    /// shards).
     fn fan_out(&self, line: &str) -> Vec<String> {
+        let request = [line.to_string()];
+        (0..self.shards.len())
+            .map(|i| match self.relay_guarded(i, &request) {
+                Ok(mut resps) => resps
+                    .pop()
+                    .unwrap_or_else(|| error_body("empty shard response")),
+                Err(e) => error_body(&e),
+            })
+            .collect()
+    }
+
+    /// Breaker-blind fan-out, one attempt per shard — for `shutdown`,
+    /// which must reach a freshly restarted shard even while its
+    /// breaker is still open.
+    fn fan_out_raw(&self, line: &str) -> Vec<String> {
         let request = [line.to_string()];
         (0..self.shards.len())
             .map(|i| match self.relay(i, &request) {
@@ -272,29 +565,76 @@ impl Router {
             .collect()
     }
 
+    /// The per-shard breaker telemetry, as a rendered JSON array.
+    fn health_json(&self) -> String {
+        let rows: Vec<String> = self
+            .health
+            .iter()
+            .enumerate()
+            .map(|(index, h)| {
+                let state = match h.state.load(Relaxed) {
+                    OPEN => "open",
+                    HALF_OPEN => "half_open",
+                    _ => "closed",
+                };
+                json::object(&[
+                    ("shard", index.to_string()),
+                    ("addr", json::string(&self.shards[index])),
+                    ("state", json::string(state)),
+                    ("relay_errors", h.relay_errors.load(Relaxed).to_string()),
+                    ("breaker_opens", h.breaker_opens.load(Relaxed).to_string()),
+                    ("probes", h.probes.load(Relaxed).to_string()),
+                    ("recoveries", h.recoveries.load(Relaxed).to_string()),
+                    ("failovers", h.failovers.load(Relaxed).to_string()),
+                ])
+            })
+            .collect();
+        json::array(&rows)
+    }
+
     /// Cluster `metrics`: element-wise merge of the shards' histograms
     /// and pooled store traffic, with each shard's verbatim response
-    /// attached under `"shards"`.
+    /// attached under `"shards"`. Malformed shard fields are *counted*
+    /// (`metrics_parse_errors`, cumulative), never silently zeroed;
+    /// a downed shard's `ok: false` body is unreachability, not a
+    /// parse error, and is skipped.
     fn aggregate_metrics(&self) -> String {
         let bodies = self.fan_out("{\"experiment\": \"metrics\"}");
         let mut store = StoreStats::default();
         let mut ops = [HistogramSnapshot::default(); Op::ALL.len()];
+        let mut parse_errors: u64 = 0;
         for body in &bodies {
-            let Ok(v) = json::parse(body) else { continue };
+            let Ok(v) = json::parse(body) else {
+                parse_errors += 1;
+                continue;
+            };
             if v.get("ok").and_then(json::Value::as_bool) != Some(true) {
                 continue;
             }
             if let Some(s) = v.get("store") {
-                let n = |k: &str| s.get(k).and_then(json::Value::as_u64).unwrap_or(0);
-                store.hits += n("hits");
-                store.misses += n("misses");
-                store.stores += n("stores");
-                store.coalesced += n("coalesced");
-                store.foreign_puts += n("foreign_puts");
-                store.quarantined += n("quarantined");
+                {
+                    let mut n = |k: &str| match s.get(k).and_then(json::Value::as_u64) {
+                        Some(n) => n,
+                        None => {
+                            parse_errors += 1;
+                            0
+                        }
+                    };
+                    store.hits += n("hits");
+                    store.misses += n("misses");
+                    store.stores += n("stores");
+                    store.coalesced += n("coalesced");
+                    store.foreign_puts += n("foreign_puts");
+                    store.peer_fetches += n("peer_fetches");
+                    store.peer_hits += n("peer_hits");
+                    store.quarantined += n("quarantined");
+                }
                 store.degraded |= s.get("degraded").and_then(json::Value::as_bool) == Some(true);
+            } else {
+                parse_errors += 1;
             }
             let Some(shard_ops) = v.get("ops").and_then(json::Value::as_array) else {
+                parse_errors += 1;
                 continue;
             };
             for (slot, op) in ops.iter_mut().zip(Op::ALL) {
@@ -302,11 +642,15 @@ impl Router {
                     .iter()
                     .find(|o| o.get("op").and_then(json::Value::as_str) == Some(op.label()))
                 else {
+                    parse_errors += 1;
                     continue;
                 };
-                *slot = slot.merged(&snapshot_of(o));
+                let (snap, errs) = snapshot_of(o);
+                parse_errors += errs;
+                *slot = slot.merged(&snap);
             }
         }
+        let total = self.metrics_parse_errors.fetch_add(parse_errors, Relaxed) + parse_errors;
         let rendered_ops: Vec<String> = Op::ALL
             .iter()
             .zip(&ops)
@@ -317,18 +661,24 @@ impl Router {
             ("experiment", json::string("metrics")),
             ("router", json::boolean(true)),
             ("shard_count", self.shards.len().to_string()),
+            ("metrics_parse_errors", total.to_string()),
+            (
+                "local_fallbacks",
+                self.local_fallbacks.load(Relaxed).to_string(),
+            ),
+            ("breakers", self.health_json()),
             ("store", store_json(&store)),
             ("ops", json::array(&rendered_ops)),
             ("shards", json::array(&bodies)),
         ])
     }
 
-    /// Cluster `stats`: the router's own connection counters plus each
-    /// shard's verbatim `stats` response.
+    /// Cluster `stats`: the router's own connection counters, the
+    /// breaker health array, and each shard's verbatim `stats`
+    /// response.
     fn aggregate_stats(&self) -> String {
         let bodies = self.fan_out("{\"experiment\": \"stats\"}");
         let c = {
-            use std::sync::atomic::Ordering::Relaxed;
             let m = &self.metrics;
             json::object(&[
                 ("accepted", m.accepted.load(Relaxed).to_string()),
@@ -344,6 +694,11 @@ impl Router {
             ("router", json::boolean(true)),
             ("shard_count", self.shards.len().to_string()),
             ("connections", c),
+            (
+                "local_fallbacks",
+                self.local_fallbacks.load(Relaxed).to_string(),
+            ),
+            ("breakers", self.health_json()),
             ("shards", json::array(&bodies)),
         ])
     }
@@ -356,8 +711,9 @@ impl Router {
             ),
             Request::Shutdown => {
                 // Best-effort fan-out: a shard that is already gone must
-                // not keep the cluster alive.
-                let _ = self.fan_out("{\"experiment\": \"shutdown\"}");
+                // not keep the cluster alive, and an open breaker must
+                // not shield a restarted shard from the order.
+                let _ = self.fan_out_raw("{\"experiment\": \"shutdown\"}");
                 (
                     json::object(&[
                         ("ok", json::boolean(true)),
@@ -372,6 +728,13 @@ impl Router {
             Request::Sweep(Some(vcc)) | Request::Table1(vcc) | Request::Stalls(vcc) => {
                 (self.relay_to_owner(vcc, raw), false)
             }
+            // Peer probes are shard-to-shard by design: answering one
+            // here would let a router bounce it back into the fleet
+            // and defeat the no-cascade rule.
+            Request::PeerGet(_) => (
+                error_body("peer_get is a shard-to-shard request; ask a shard directly"),
+                false,
+            ),
         }
     }
 }
@@ -394,25 +757,47 @@ impl conn::Service for Router {
     }
 }
 
+/// `Duration` → whole milliseconds, saturating.
+fn ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
 /// Rebuilds a [`HistogramSnapshot`] from one rendered op object (the
-/// wire inverse of [`op_json`]; unknown/short bucket arrays pad with
-/// zero).
-fn snapshot_of(o: &json::Value) -> HistogramSnapshot {
-    let mut snap = HistogramSnapshot {
-        count: o.get("count").and_then(json::Value::as_u64).unwrap_or(0),
-        total_micros: o.get("total_us").and_then(json::Value::as_u64).unwrap_or(0),
-        ..HistogramSnapshot::default()
-    };
-    if let Some(buckets) = o.get("buckets").and_then(json::Value::as_array) {
-        for (slot, b) in snap
-            .buckets
-            .iter_mut()
-            .zip(buckets.iter().take(LATENCY_BUCKETS))
-        {
-            *slot = b.as_u64().unwrap_or(0);
-        }
+/// wire inverse of [`op_json`]), counting every missing or mistyped
+/// field instead of silently zeroing it.
+fn snapshot_of(o: &json::Value) -> (HistogramSnapshot, u64) {
+    let mut errors: u64 = 0;
+    let mut snap = HistogramSnapshot::default();
+    {
+        let mut field = |k: &str| match o.get(k).and_then(json::Value::as_u64) {
+            Some(n) => n,
+            None => {
+                errors += 1;
+                0
+            }
+        };
+        snap.count = field("count");
+        snap.total_micros = field("total_us");
     }
-    snap
+    match o.get("buckets").and_then(json::Value::as_array) {
+        Some(buckets) => {
+            for (slot, b) in snap
+                .buckets
+                .iter_mut()
+                .zip(buckets.iter().take(LATENCY_BUCKETS))
+            {
+                match b.as_u64() {
+                    Some(n) => *slot = n,
+                    None => errors += 1,
+                }
+            }
+            if buckets.len() < LATENCY_BUCKETS {
+                errors += (LATENCY_BUCKETS - buckets.len()) as u64;
+            }
+        }
+        None => errors += 1,
+    }
+    (snap, errors)
 }
 
 fn error_body(error: &str) -> String {
@@ -458,6 +843,10 @@ pub struct ClusterOptions {
     /// Pre-fill each shard's slice of the sweep grid (plus the
     /// default-voltage `table1`/`stalls` points) before serving.
     pub warm: bool,
+    /// An LVCB bundle (`lowvcc-store export`) imported into every
+    /// shard's store — and the router's fallback store — before
+    /// serving.
+    pub warm_bundle: Option<PathBuf>,
     /// Serve-loop options applied to every shard and the router.
     pub serve: ServeOptions,
     /// Router bind address (shards always bind `127.0.0.1:0`).
@@ -472,6 +861,7 @@ impl Default for ClusterOptions {
             jobs: Parallelism::available().count(),
             cache: None,
             warm: false,
+            warm_bundle: None,
             serve: ServeOptions::default(),
             router_addr: "127.0.0.1:0".to_string(),
         }
@@ -523,21 +913,38 @@ impl Cluster {
 }
 
 /// Builds and starts a full cluster for `choice`: N shard daemons (one
-/// thread each, ephemeral ports, per-slice store ownership, optional
-/// per-slice warm-up) and the router (bound to
-/// [`ClusterOptions::router_addr`]). Returns once every listener is
-/// bound — warm-up proceeds on the shard threads, with early requests
-/// queueing in the listen backlog until their shard is ready.
+/// thread each, ephemeral ports, per-slice store ownership, read-
+/// through peer replication, optional per-slice warm-up or bundle
+/// import) and the router (bound to [`ClusterOptions::router_addr`],
+/// with a local fallback daemon for total-fleet failures). Returns
+/// once every listener is bound — warm-up proceeds on the shard
+/// threads, with early requests queueing in the listen backlog until
+/// their shard is ready.
 ///
 /// # Errors
 ///
-/// Reports suite-build, store-open and bind failures.
+/// Reports suite-build, store-open, bundle-import and bind failures.
 pub fn start_cluster(choice: SuiteChoice, opts: &ClusterOptions) -> Result<Cluster, ClusterError> {
     let ring = Ring::new(opts.shards, opts.seed);
-    let mut shard_addrs = Vec::with_capacity(ring.shards() as usize);
-    let mut threads = Vec::with_capacity(ring.shards() as usize + 1);
+    let shards = ring.shards();
+    // Bind every shard listener before building any daemon: each
+    // shard's read-through hook needs the full peer address list.
+    let mut listeners = Vec::with_capacity(shards as usize);
+    let mut shard_addrs = Vec::with_capacity(shards as usize);
+    for index in 0..shards {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| ClusterError::Start(format!("shard {index}: bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ClusterError::Start(format!("shard {index}: local addr: {e}")))?;
+        shard_addrs.push(addr);
+        listeners.push(listener);
+    }
+    let peers: Vec<String> = shard_addrs.iter().map(ToString::to_string).collect();
+    let mut threads = Vec::with_capacity(shards as usize + 1);
     let mut anchor: Option<(CoreConfig, CycleTimeModel, TraceSpec)> = None;
-    for index in 0..ring.shards() {
+    for (index, listener) in listeners.into_iter().enumerate() {
+        let index = index as u32;
         let ctx = choice
             .build()
             .map_err(|e| ClusterError::Start(format!("shard {index}: suite: {e}")))?
@@ -550,14 +957,15 @@ pub fn start_cluster(choice: SuiteChoice, opts: &ClusterOptions) -> Result<Clust
                 .map_err(|e| ClusterError::Start(format!("shard {index}: store: {e}")))?,
             None => ResultStore::ephemeral(),
         };
-        let store = store.with_key_owner(Arc::new(move |key| ring.owns(index, key)));
-        let daemon = Daemon::new(ctx.with_cache(Arc::new(store))).with_shard(index, ring.shards());
-        let listener = TcpListener::bind("127.0.0.1:0")
-            .map_err(|e| ClusterError::Start(format!("shard {index}: bind: {e}")))?;
-        let addr = listener
-            .local_addr()
-            .map_err(|e| ClusterError::Start(format!("shard {index}: local addr: {e}")))?;
-        shard_addrs.push(addr);
+        let store = store
+            .with_key_owner(Arc::new(move |key| ring.owns(index, key)))
+            .with_remote_fetch(read_through(ring, index, peers.clone(), PEER_FETCH_TIMEOUT));
+        if let Some(bundle) = &opts.warm_bundle {
+            store
+                .import_bundle(bundle)
+                .map_err(|e| ClusterError::Start(format!("shard {index}: bundle: {e}")))?;
+        }
+        let daemon = Daemon::new(ctx.with_cache(Arc::new(store))).with_shard(index, shards);
         let serve = opts.serve;
         let warm = opts.warm;
         threads.push(std::thread::spawn(move || {
@@ -574,13 +982,26 @@ pub fn start_cluster(choice: SuiteChoice, opts: &ClusterOptions) -> Result<Clust
             "cluster needs at least one shard".to_string(),
         ));
     };
-    let router = Router::new(
-        shard_addrs.iter().map(ToString::to_string).collect(),
-        ring,
-        core,
-        timing,
-        spec,
-    );
+    // The router's last-resort simulator. It reads the shared cache
+    // but never publishes (the shards own every key slice), so the
+    // fallback cannot corrupt the fleet's disk layout.
+    let local_ctx = choice
+        .build()
+        .map_err(|e| ClusterError::Start(format!("router: suite: {e}")))?
+        .with_parallelism(Parallelism::threads(opts.jobs));
+    let local_store = match &opts.cache {
+        Some(dir) => ResultStore::open(dir)
+            .map_err(|e| ClusterError::Start(format!("router: store: {e}")))?,
+        None => ResultStore::ephemeral(),
+    };
+    let local_store = local_store.with_key_owner(Arc::new(|_| false));
+    if let Some(bundle) = &opts.warm_bundle {
+        local_store
+            .import_bundle(bundle)
+            .map_err(|e| ClusterError::Start(format!("router: bundle: {e}")))?;
+    }
+    let local = Daemon::new(local_ctx.with_cache(Arc::new(local_store)));
+    let router = Router::new(peers, ring, core, timing, spec).with_local_fallback(local);
     let listener = TcpListener::bind(&opts.router_addr).map_err(|e| {
         ClusterError::Start(format!("router: cannot bind {}: {e}", opts.router_addr))
     })?;
@@ -596,4 +1017,128 @@ pub fn start_cluster(choice: SuiteChoice, opts: &ClusterOptions) -> Result<Clust
         shard_addrs,
         threads,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn test_router(shards: Vec<String>) -> Router {
+        let spec = SuiteChoice::parse("quick")
+            .expect("quick suite parses")
+            .specs()[0];
+        Router::new(
+            shards,
+            Ring::new(1, crate::shard::DEFAULT_RING_SEED),
+            CoreConfig::silverthorne(),
+            CycleTimeModel::silverthorne_45nm(),
+            spec,
+        )
+        .with_retry_policy(RetryPolicy::none())
+        .with_relay_timeout(Duration::from_secs(2))
+    }
+
+    /// A one-shot shard stand-in: accepts one connection, reads one
+    /// line, answers `{"ok": true}`.
+    fn one_shot_shard(listener: TcpListener) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            if let Ok((stream, _)) = listener.accept() {
+                let mut reader = BufReader::new(&stream);
+                let mut line = String::new();
+                let _ = reader.read_line(&mut line);
+                let mut w = &stream;
+                let _ = w.write_all(b"{\"ok\": true}\n");
+                let _ = w.flush();
+            }
+        })
+    }
+
+    #[test]
+    fn breaker_opens_after_strikes_refuses_then_probes_and_recovers() {
+        // Reserve a port, then free it: relays to it are refused fast.
+        let parked = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = parked.local_addr().expect("addr").to_string();
+        drop(parked);
+        let router = test_router(vec![addr.clone()]).with_probe_after(Duration::from_millis(30));
+        let line = ["{\"experiment\": \"ping\"}".to_string()];
+
+        // Three consecutive failures open the breaker…
+        for _ in 0..BREAKER_STRIKES {
+            assert!(router.relay_guarded(0, &line).is_err());
+        }
+        assert!(router.health_json().contains("\"state\": \"open\""));
+
+        // …and while it cools down, relays are refused without dialing.
+        let err = router.relay_guarded(0, &line).expect_err("refused");
+        assert!(err.contains("circuit breaker open"), "got: {err}");
+        assert!(err.contains(&addr), "breaker errors carry the addr: {err}");
+
+        // After the cooldown a probe against a revived shard recovers.
+        std::thread::sleep(Duration::from_millis(40));
+        let revived = loop {
+            match TcpListener::bind(&addr) {
+                Ok(l) => break l,
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        let shard = one_shot_shard(revived);
+        let resp = router.relay_guarded(0, &line).expect("probe succeeds");
+        assert_eq!(resp, vec!["{\"ok\": true}".to_string()]);
+        shard.join().expect("shard thread");
+        let health = router.health_json();
+        assert!(health.contains("\"state\": \"closed\""), "got: {health}");
+        assert!(health.contains("\"probes\": 1"), "got: {health}");
+        assert!(health.contains("\"recoveries\": 1"), "got: {health}");
+        assert!(health.contains("\"breaker_opens\": 1"), "got: {health}");
+    }
+
+    #[test]
+    fn failed_probes_reopen_the_breaker() {
+        let parked = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = parked.local_addr().expect("addr").to_string();
+        drop(parked);
+        let router = test_router(vec![addr]).with_probe_after(Duration::from_millis(10));
+        let line = ["{\"experiment\": \"ping\"}".to_string()];
+        for _ in 0..BREAKER_STRIKES {
+            assert!(router.relay_guarded(0, &line).is_err());
+        }
+        std::thread::sleep(Duration::from_millis(15));
+        // The probe dials the still-dead shard and fails: re-open.
+        assert!(router.relay_guarded(0, &line).is_err());
+        let health = router.health_json();
+        assert!(health.contains("\"state\": \"open\""), "got: {health}");
+        assert!(health.contains("\"probes\": 1"), "got: {health}");
+        // Immediately after, the fresh cooldown refuses again.
+        let err = router.relay_guarded(0, &line).expect_err("refused");
+        assert!(err.contains("circuit breaker open"), "got: {err}");
+    }
+
+    #[test]
+    fn malformed_shard_metrics_are_counted_not_zeroed() {
+        // A well-formed op parses with zero errors.
+        let full = vec!["0"; LATENCY_BUCKETS].join(", ");
+        let good = json::parse(&format!(
+            "{{\"op\": \"ping\", \"count\": 2, \"total_us\": 7, \"buckets\": [{full}]}}"
+        ))
+        .expect("valid op json");
+        let (snap, errs) = snapshot_of(&good);
+        assert_eq!((snap.count, snap.total_micros, errs), (2, 7, 0));
+
+        // Missing count + truncated buckets are each counted.
+        let bad = json::parse("{\"op\": \"ping\", \"total_us\": 7, \"buckets\": [1]}")
+            .expect("valid json");
+        let (snap, errs) = snapshot_of(&bad);
+        assert_eq!(snap.count, 0);
+        assert_eq!(
+            errs,
+            1 + (LATENCY_BUCKETS as u64 - 1),
+            "one missing field plus the short bucket array"
+        );
+
+        // No buckets at all is one more structural error.
+        let worse = json::parse("{\"op\": \"ping\"}").expect("valid json");
+        let (_, errs) = snapshot_of(&worse);
+        assert_eq!(errs, 3, "count, total_us and buckets all missing");
+    }
 }

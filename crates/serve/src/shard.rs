@@ -25,8 +25,14 @@
 //!   counted as `foreign_puts`), so two shards never race on one disk
 //!   slot.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lowvcc_bench::{json, RemoteFetch};
 use lowvcc_core::canon::fnv1a_64;
-use lowvcc_core::{sim_key, CoreConfig, SimConfig, SimKey};
+use lowvcc_core::{decode_sim_result, sim_key, CoreConfig, SimConfig, SimKey, SimResult};
 use lowvcc_sram::{CycleTimeModel, Millivolts};
 use lowvcc_trace::TraceSpec;
 
@@ -103,6 +109,96 @@ fn jump_hash(mut state: u64, buckets: u32) -> u32 {
     b as u32
 }
 
+/// How long a read-through peer probe waits on connect, send, and
+/// receive. Deliberately short: `peer_get` is answered from the owner's
+/// memory/disk tiers without simulating, so a peer that cannot answer
+/// quickly is treated as a miss and the requester simulates locally —
+/// peer trouble costs latency, never correctness.
+pub const PEER_FETCH_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Lower-case hex rendering of raw bytes (the `record` field of a
+/// `peer_get` hit carries an LVCR record this way).
+#[must_use]
+pub fn encode_hex(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[usize::from(b >> 4)] as char);
+        out.push(HEX[usize::from(b & 0x0f)] as char);
+    }
+    out
+}
+
+/// Strict inverse of [`encode_hex`]: rejects odd lengths and non-hex
+/// digits rather than guessing.
+#[must_use]
+pub fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in s.as_bytes().chunks_exact(2) {
+        let hi = char::from(pair[0]).to_digit(16)?;
+        let lo = char::from(pair[1]).to_digit(16)?;
+        out.push((hi << 4 | lo) as u8);
+    }
+    Some(out)
+}
+
+/// The request line a shard sends to a key's ring owner on a local miss.
+#[must_use]
+pub fn peer_get_line(key: SimKey) -> String {
+    json::object(&[
+        ("experiment", json::string("peer_get")),
+        ("key", json::string(&key.to_hex())),
+    ])
+}
+
+/// One read-through probe: dial `addr`, ask for `key`, decode the
+/// returned record. Every failure — bad address, connect refusal,
+/// timeout, protocol garbage, a record that fails LVCR validation —
+/// maps to `None`, degrading to a local simulation.
+fn fetch_from_peer(addr: &str, key: SimKey, timeout: Duration) -> Option<SimResult> {
+    let sockaddr: SocketAddr = addr.parse().ok()?;
+    let stream = TcpStream::connect_timeout(&sockaddr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_write_timeout(Some(timeout)).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    let mut line = peer_get_line(key);
+    line.push('\n');
+    writer.write_all(line.as_bytes()).ok()?;
+    writer.flush().ok()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).ok()?;
+    let body = json::parse(reply.trim()).ok()?;
+    if body.get("ok")?.as_bool()? && body.get("hit")?.as_bool()? {
+        let bytes = decode_hex(body.get("record")?.as_str()?)?;
+        decode_sim_result(&bytes).ok()
+    } else {
+        None
+    }
+}
+
+/// Builds the [`RemoteFetch`] hook a sharded daemon installs on its
+/// store: on a local miss, ask the key's ring owner (and only the
+/// owner — `peers` is indexed by shard) before simulating. Keys this
+/// shard owns itself are never fetched: a local miss on an owned key
+/// is authoritative. The no-cascade rule holds by construction — the
+/// owner answers `peer_get` from its local tiers only
+/// ([`lowvcc_bench::ResultStore::peek_local`]), so a probe can never
+/// trigger another probe.
+#[must_use]
+pub fn read_through(ring: Ring, index: u32, peers: Vec<String>, timeout: Duration) -> RemoteFetch {
+    Arc::new(move |key| {
+        let owner = ring.owner(key);
+        if owner == index {
+            return None;
+        }
+        let addr = peers.get(owner as usize)?;
+        fetch_from_peer(addr, key, timeout)
+    })
+}
+
 /// The routing anchor for one operating point: the [`SimKey`] of the
 /// *baseline* configuration at `vcc` on the suite's first trace spec.
 /// Routing by this key sends every request touching an operating point
@@ -123,6 +219,31 @@ pub fn voltage_anchor(
 mod tests {
     use super::*;
     use lowvcc_sram::PAPER_SWEEP;
+
+    #[test]
+    fn hex_codec_round_trips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = encode_hex(&bytes);
+        assert_eq!(decode_hex(&hex), Some(bytes));
+        assert_eq!(decode_hex(""), Some(Vec::new()));
+        assert_eq!(decode_hex("abc"), None, "odd length");
+        assert_eq!(decode_hex("zz"), None, "non-hex digits");
+    }
+
+    #[test]
+    fn peer_get_lines_parse_as_peer_requests() {
+        let key = voltage_anchor(
+            CoreConfig::silverthorne(),
+            &CycleTimeModel::silverthorne_45nm(),
+            &lowvcc_trace::suite(1, 1_000)[0],
+            Millivolts::literal(500),
+        );
+        let line = peer_get_line(key);
+        assert_eq!(
+            crate::parse_request(&line),
+            Ok(crate::Request::PeerGet(key))
+        );
+    }
 
     #[test]
     fn ring_is_deterministic_and_total() {

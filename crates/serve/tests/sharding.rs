@@ -4,15 +4,18 @@
 //! to the single-process daemon.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
-use lowvcc_bench::{json, ExperimentContext, SuiteChoice};
+use lowvcc_bench::{json, ExperimentContext, ResultStore, SuiteChoice};
 use lowvcc_core::CoreConfig;
 use lowvcc_serve::router::{start_cluster, ClusterOptions};
-use lowvcc_serve::shard::{voltage_anchor, Ring, DEFAULT_RING_SEED};
+use lowvcc_serve::shard::{
+    read_through, voltage_anchor, Ring, DEFAULT_RING_SEED, PEER_FETCH_TIMEOUT,
+};
 use lowvcc_serve::Daemon;
-use lowvcc_sram::{CycleTimeModel, PAPER_SWEEP};
+use lowvcc_sram::{CycleTimeModel, Millivolts, PAPER_SWEEP};
 use lowvcc_trace::suite;
 
 /// The paper grid partitions identically on every independently
@@ -155,4 +158,260 @@ fn router_matches_single_daemon_byte_for_byte() {
             "shard {addr} still listening after cluster shutdown"
         );
     }
+}
+
+/// One breaker row's field from an aggregated `stats`/`metrics` body.
+fn breaker_field(body: &json::Value, shard: u64, field: &str) -> String {
+    let rows = body
+        .get("breakers")
+        .and_then(json::Value::as_array)
+        .expect("aggregate must carry a breakers array");
+    let row = rows
+        .iter()
+        .find(|r| r.get("shard").and_then(json::Value::as_u64) == Some(shard))
+        .expect("every shard has a breaker row");
+    json::render(row.get(field).expect("breaker field"))
+}
+
+/// Read-through peer replication, end to end: a shard missing a key
+/// locally asks the key's ring owner before simulating; a cold owner
+/// answers a miss without cascading (its probe handler never dials
+/// anyone); a warm owner ships the record and the fetched point
+/// renders byte-identically.
+#[test]
+fn shards_read_through_to_the_ring_owner() {
+    let ring = Ring::new(2, DEFAULT_RING_SEED);
+    let ctx_a = ExperimentContext::sized(1, 2_000).expect("suite builds");
+    let ctx_b = ExperimentContext::sized(1, 2_000).expect("suite builds");
+    let core = ctx_a.core;
+    let timing = ctx_a.timing;
+    let spec = ctx_a.specs[0];
+
+    // Give the "owner" role to whichever shard anchors >= 2 sweep
+    // voltages (by pigeonhole at least one of the two does).
+    let mut per_shard: Vec<Vec<Millivolts>> = vec![Vec::new(), Vec::new()];
+    for vcc in PAPER_SWEEP.iter() {
+        per_shard[ring.owner(voltage_anchor(core, &timing, &spec, vcc)) as usize].push(vcc);
+    }
+    let owner: u32 = u32::from(per_shard[1].len() >= 2);
+    let requester = 1 - owner;
+    let (cold_vcc, warm_vcc) = (per_shard[owner as usize][0], per_shard[owner as usize][1]);
+
+    let listeners = [
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+    ];
+    let peers: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    let store = |index: u32| {
+        ResultStore::ephemeral()
+            .with_key_owner(Arc::new(move |key| ring.owns(index, key)))
+            .with_remote_fetch(read_through(ring, index, peers.clone(), PEER_FETCH_TIMEOUT))
+    };
+    let d_req = Daemon::new(ctx_a.with_cache(Arc::new(store(requester)))).with_shard(requester, 2);
+    let d_own =
+        Arc::new(Daemon::new(ctx_b.with_cache(Arc::new(store(owner)))).with_shard(owner, 2));
+    let owner_addr = peers[owner as usize].clone();
+    let [l0, l1] = listeners;
+    let owner_listener = if owner == 0 { l0 } else { l1 };
+    let server = {
+        let d_own = Arc::clone(&d_own);
+        std::thread::spawn(move || d_own.serve(&owner_listener))
+    };
+
+    let sweep_line = |vcc: Millivolts| {
+        format!(
+            "{{\"experiment\": \"sweep\", \"vcc\": {}}}",
+            vcc.millivolts()
+        )
+    };
+    let stats_of = |d: &Daemon| {
+        let (body, _) = d.handle_line("{\"experiment\": \"stats\"}");
+        json::parse(&body).expect("stats parse")
+    };
+    let counter = |v: &json::Value, k: &str| v.get(k).and_then(json::Value::as_u64).expect("stat");
+
+    // Cold owner: the probe comes back a miss (no cascade, no hang)
+    // and the requester simulates the point itself.
+    let (resp, _) = d_req.handle_line(&sweep_line(cold_vcc));
+    let v = json::parse(&resp).expect("sweep response parses");
+    assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(true));
+    let s = stats_of(&d_req);
+    assert!(
+        counter(&s, "peer_fetches") > 0,
+        "the requester must have dialed the ring owner: {s:?}"
+    );
+    assert_eq!(counter(&s, "peer_hits"), 0, "a cold owner cannot hit");
+
+    // Warm the owner, then ask the requester for the same point: the
+    // owned records ship over the wire and the point renders
+    // byte-identically to the owner's own answer.
+    let (owner_resp, _) = d_own.handle_line(&sweep_line(warm_vcc));
+    let (got, _) = d_req.handle_line(&sweep_line(warm_vcc));
+    let want = json::parse(&owner_resp).expect("owner response parses");
+    let have = json::parse(&got).expect("requester response parses");
+    assert_eq!(
+        json::render(have.get("point").expect("point")),
+        json::render(want.get("point").expect("point")),
+        "a peer-fetched point must render byte-identically"
+    );
+    let s = stats_of(&d_req);
+    assert!(
+        counter(&s, "peer_hits") > 0,
+        "a warm owner must serve at least the anchor record: {s:?}"
+    );
+
+    // Stop the owner daemon.
+    let stream = TcpStream::connect(owner_addr.as_str()).expect("connect owner");
+    let mut reader = BufReader::new(&stream);
+    roundtrip(&stream, &mut reader, "{\"experiment\": \"shutdown\"}");
+    server
+        .join()
+        .expect("owner thread")
+        .expect("clean serve exit");
+}
+
+/// The robustness tentpole, end to end: kill one of three shards and
+/// the cluster still answers every request type — the full sweep
+/// byte-identically, via failover — while `stats`/`metrics` report the
+/// open breaker; restart the shard and the half-open probe re-admits
+/// it.
+#[test]
+fn cluster_fails_over_around_a_dead_shard_and_recovers() {
+    const REQUESTS: &[&str] = &[
+        "{\"experiment\": \"ping\"}",
+        "{\"experiment\": \"sweep\"}",
+        "{\"experiment\": \"sweep\", \"vcc\": 575}",
+        "{\"experiment\": \"table1\", \"vcc\": 575}",
+        "{\"experiment\": \"stalls\", \"vcc\": 575}",
+    ];
+    // Reference: a cold single-process daemon over the same suite.
+    let single = Daemon::new(ExperimentContext::sized(1, 2_000).expect("suite builds"));
+    let expected: Vec<String> = REQUESTS
+        .iter()
+        .map(|line| single.handle_line(line).0)
+        .collect();
+
+    let cluster = start_cluster(
+        SuiteChoice::Sized {
+            per_family: 1,
+            len: 2_000,
+        },
+        &ClusterOptions {
+            shards: 3,
+            jobs: 2,
+            ..ClusterOptions::default()
+        },
+    )
+    .expect("cluster starts");
+    let shard_addrs = cluster.shard_addrs().to_vec();
+
+    // The victim is the shard owning the 575 mV anchor, so every
+    // single-point request above crosses the hole it leaves.
+    let ring = Ring::new(3, DEFAULT_RING_SEED);
+    let ctx = single.context();
+    let victim = ring.owner(voltage_anchor(
+        ctx.core,
+        &ctx.timing,
+        &ctx.specs[0],
+        Millivolts::literal(575),
+    )) as usize;
+
+    // Kill it with a direct shutdown and wait for its port to close.
+    {
+        let stream = TcpStream::connect(shard_addrs[victim]).expect("connect victim");
+        let mut reader = BufReader::new(&stream);
+        let resp = roundtrip(&stream, &mut reader, "{\"experiment\": \"shutdown\"}");
+        assert!(resp.contains("\"shutdown\": true"), "got: {resp}");
+    }
+    for _ in 0..500 {
+        if TcpStream::connect(shard_addrs[victim]).is_err() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let stream = TcpStream::connect(cluster.router_addr()).expect("connect router");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .expect("timeout");
+    let mut reader = BufReader::new(&stream);
+    for (line, want) in REQUESTS.iter().zip(&expected) {
+        let got = roundtrip(&stream, &mut reader, line);
+        assert_eq!(&got, want, "degraded cluster diverges for {line}");
+    }
+
+    // stats and metrics still answer and report the open breaker plus
+    // the failovers that answered the victim's traffic.
+    let stats = roundtrip(&stream, &mut reader, "{\"experiment\": \"stats\"}");
+    let v = json::parse(&stats).expect("stats parse");
+    assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(true));
+    assert_eq!(breaker_field(&v, victim as u64, "state"), "\"open\"");
+    assert_ne!(breaker_field(&v, victim as u64, "failovers"), "0");
+    let metrics = roundtrip(&stream, &mut reader, "{\"experiment\": \"metrics\"}");
+    let m = json::parse(&metrics).expect("metrics parse");
+    assert_eq!(m.get("ok").and_then(json::Value::as_bool), Some(true));
+    assert_eq!(breaker_field(&m, victim as u64, "state"), "\"open\"");
+    assert_eq!(
+        m.get("metrics_parse_errors").and_then(json::Value::as_u64),
+        Some(0),
+        "an unreachable shard is not a parse error"
+    );
+
+    // Restart the victim on its old address (same slice, fresh store).
+    let listener = {
+        let mut bound = TcpListener::bind(shard_addrs[victim]);
+        let mut tries = 0;
+        loop {
+            match bound {
+                Ok(l) => break l,
+                Err(e) if tries >= 500 => panic!("cannot rebind victim addr: {e}"),
+                Err(_) => {
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                    bound = TcpListener::bind(shard_addrs[victim]);
+                }
+            }
+        }
+    };
+    let peers: Vec<String> = shard_addrs.iter().map(ToString::to_string).collect();
+    let victim_u32 = victim as u32;
+    let store = ResultStore::ephemeral()
+        .with_key_owner(Arc::new(move |key| ring.owns(victim_u32, key)))
+        .with_remote_fetch(read_through(ring, victim_u32, peers, PEER_FETCH_TIMEOUT));
+    let revived_ctx = ExperimentContext::sized(1, 2_000).expect("suite builds");
+    let revived = Daemon::new(revived_ctx.with_cache(Arc::new(store))).with_shard(victim_u32, 3);
+    let revived_thread = std::thread::spawn(move || revived.serve(&listener));
+
+    // Once the cooldown elapses, routed traffic becomes the half-open
+    // probe; poll until the breaker closes and a recovery is counted.
+    let mut recovered = false;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(150));
+        let _ = roundtrip(
+            &stream,
+            &mut reader,
+            "{\"experiment\": \"sweep\", \"vcc\": 575}",
+        );
+        let stats = roundtrip(&stream, &mut reader, "{\"experiment\": \"stats\"}");
+        let v = json::parse(&stats).expect("stats parse");
+        if breaker_field(&v, victim as u64, "state") == "\"closed\"" {
+            assert_ne!(breaker_field(&v, victim as u64, "recoveries"), "0");
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "breaker never re-closed after the restart");
+
+    // Shutdown fans out breaker-blind, so it reaches the revived shard.
+    let resp = roundtrip(&stream, &mut reader, "{\"experiment\": \"shutdown\"}");
+    let v = json::parse(&resp).expect("shutdown response parses");
+    assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(true));
+    cluster.join().expect("clean fan-out shutdown");
+    revived_thread
+        .join()
+        .expect("revived thread")
+        .expect("clean serve exit");
 }
